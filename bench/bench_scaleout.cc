@@ -1,0 +1,114 @@
+// E9 — scale-out and the S-R link (§3.4.2).
+//
+// Deploying an additional blade cluster auto-creates a data location stage
+// instance that must copy all provisioned identity-location maps from a
+// peer; during that sync window the new PoA cannot serve (availability
+// hit). The window grows linearly with the provisioned subscriber base. The
+// cached-map alternative (§3.5) has no window but pays the E8 broadcast
+// cost per miss — the F-R-S triangle the paper calls "likely to change".
+
+#include <benchmark/benchmark.h>
+
+#include "common/table.h"
+#include "workload/testbed.h"
+
+using namespace udr;
+using location::IdentityType;
+
+namespace {
+
+void PrintScaleoutTables() {
+  Table t("E9a: scale-out identity-map sync window vs provisioned base "
+          "(provisioned location stage; ~5 identities per subscriber)",
+          {"subscribers", "map entries", "sync window",
+           "new-PoA ops lost @1000 ops/s"});
+  for (int64_t subs : {1'000LL, 5'000LL, 20'000LL}) {
+    workload::TestbedOptions o;
+    o.sites = 4;
+    o.subscribers = 0;
+    workload::Testbed bed(o);
+    // Deploy 3 clusters' worth of population, then scale out to site 3.
+    bed.ProvisionDirect(0, subs);
+    int64_t entries =
+        bed.udr().cluster(0)->location_stage()->EntryCount();
+    auto cluster = bed.udr().AddCluster(3);
+    if (!cluster.ok()) continue;
+    MicroDuration window = static_cast<MicroDuration>(
+        bed.udr().metrics().HistOrEmpty("scaleout.sync_window_us").max());
+    int64_t lost_ops = window * 1000 / Seconds(1);
+    t.AddRow({Table::Num(subs), Table::Num(entries), Table::Dur(window),
+              Table::Num(lost_ops)});
+  }
+  t.Print();
+
+  Table t2("E9b: provisioned vs cached stage at scale-out (5,000 subscribers)",
+           {"stage kind", "sync window", "first lookup at new PoA",
+            "lookup cost"});
+  for (auto kind : {udrnf::LocationKind::kProvisioned,
+                    udrnf::LocationKind::kCached}) {
+    workload::TestbedOptions o;
+    o.sites = 4;
+    o.udr.location_kind = kind;
+    workload::Testbed bed(o);
+    bed.ProvisionDirect(0, 5000);
+    auto cluster = bed.udr().AddCluster(3);
+    if (!cluster.ok()) continue;
+    auto r = (*cluster)->location_stage()->Resolve(
+        {IdentityType::kImsi, bed.factory().ImsiOf(42)}, bed.clock().Now());
+    MicroDuration window = static_cast<MicroDuration>(
+        bed.udr().metrics().HistOrEmpty("scaleout.sync_window_us").max());
+    t2.AddRow({kind == udrnf::LocationKind::kProvisioned ? "provisioned maps"
+                                                         : "cached maps",
+               kind == udrnf::LocationKind::kProvisioned ? Table::Dur(window)
+                                                         : "none",
+               r.status.ok() ? "serves immediately"
+                             : "unavailable (syncing)",
+               r.status.ok() ? Table::Dur(r.cost) : "-"});
+  }
+  t2.Print();
+
+  Table t3("E9c: expected shape", {"check", "result"});
+  {
+    workload::TestbedOptions o;
+    o.sites = 4;
+    workload::Testbed bed(o);
+    bed.ProvisionDirect(0, 1000);
+    bed.udr().AddCluster(3).ok();
+    MicroDuration w1 = static_cast<MicroDuration>(
+        bed.udr().metrics().HistOrEmpty("scaleout.sync_window_us").max());
+
+    workload::TestbedOptions o2 = o;
+    workload::Testbed bed2(o2);
+    bed2.ProvisionDirect(0, 10000);
+    (void)bed2.udr().AddCluster(3);
+    MicroDuration w2 = static_cast<MicroDuration>(
+        bed2.udr().metrics().HistOrEmpty("scaleout.sync_window_us").max());
+    t3.AddRow({"window scales ~10x for 10x subscribers",
+               w2 > 8 * w1 && w2 < 12 * w1 ? "PASS" : "FAIL"});
+  }
+  t3.Print();
+}
+
+void BM_ScaleOutCluster(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    workload::TestbedOptions o;
+    o.sites = 4;
+    workload::Testbed bed(o);
+    bed.ProvisionDirect(0, 500);
+    state.ResumeTiming();
+    auto c = bed.udr().AddCluster(3);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ScaleOutCluster)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintScaleoutTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Example: a provisioning day at a service provider.
+//
+// Models the §3.3.3/§4.1 story end to end:
+//   1. steady drip of subscription activations through the PS;
+//   2. an overnight batch of 5,000 activations at 50 ops/s;
+//   3. the same batch re-run with a 30-second backbone glitch in the middle
+//      — under the paper's consistency-first design it aborts, and the
+//      operator pays manual interventions;
+//   4. the §5 evolution (multi-master on partition): the batch completes
+//      and the divergence is merged by the consistency-restoration process.
+//
+// Run: ./build/examples/provisioning_day
+
+#include <cstdio>
+
+#include "telecom/provisioning.h"
+#include "workload/testbed.h"
+
+using namespace udr;
+
+namespace {
+
+workload::TestbedOptions Options(replication::PartitionMode mode) {
+  workload::TestbedOptions o;
+  o.sites = 3;
+  o.udr.partition_mode = mode;
+  return o;
+}
+
+void PrintBatch(const char* label, const telecom::BatchReport& r) {
+  std::printf("%-34s attempted=%-5lld ok=%-5lld failed=%-4lld skipped=%-5lld "
+              "%s manual=%lld\n",
+              label, static_cast<long long>(r.attempted),
+              static_cast<long long>(r.succeeded),
+              static_cast<long long>(r.failed),
+              static_cast<long long>(r.skipped),
+              r.aborted ? "ABORTED" : "completed",
+              static_cast<long long>(r.manual_interventions()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Provisioning day: batches, glitches and the CAP price ===\n\n");
+
+  // --- 1. Steady activations --------------------------------------------------
+  {
+    workload::Testbed bed(
+        Options(replication::PartitionMode::kPreferConsistency));
+    telecom::ProvisioningSystem ps({0, 0}, &bed.udr(), &bed.factory());
+    int ok = 0;
+    for (uint64_t i = 0; i < 20; ++i) {
+      if (ps.Provision(i).ok()) ++ok;
+      bed.clock().Advance(Seconds(1));
+    }
+    std::printf("steady drip: %d/20 walk-out-of-the-shop activations ok\n\n",
+                ok);
+  }
+
+  // --- 2. Clean overnight batch ----------------------------------------------
+  {
+    workload::Testbed bed(
+        Options(replication::PartitionMode::kPreferConsistency));
+    telecom::ProvisioningSystem ps({0, 0}, &bed.udr(), &bed.factory());
+    auto report = ps.RunBatch(0, 5000, 50.0, /*stop_on_failure=*/true);
+    PrintBatch("clean batch (5,000 @ 50/s):", report);
+  }
+
+  // --- 3. Same batch, 30s glitch, consistency-first ---------------------------
+  {
+    workload::Testbed bed(
+        Options(replication::PartitionMode::kPreferConsistency));
+    telecom::ProvisioningSystem ps({0, 0}, &bed.udr(), &bed.factory());
+    MicroTime glitch = bed.clock().Now() + Seconds(40);
+    bed.network().partitions().CutBetween({0}, {1, 2}, glitch,
+                                          glitch + Seconds(30));
+    auto report = ps.RunBatch(0, 5000, 50.0, /*stop_on_failure=*/true);
+    PrintBatch("same batch + 30s glitch (PC):", report);
+    std::printf("  => \"a network glitch as short as 30 seconds may cause a\n"
+                "      batch that's been running for hours to fail\" (§4.1)\n");
+  }
+
+  // --- 4. The §5 evolution: multi-master keeps the batch alive ----------------
+  {
+    workload::Testbed bed(
+        Options(replication::PartitionMode::kPreferAvailability));
+    telecom::ProvisioningSystem ps({0, 0}, &bed.udr(), &bed.factory());
+    MicroTime glitch = bed.clock().Now() + Seconds(40);
+    bed.network().partitions().CutBetween({0}, {1, 2}, glitch,
+                                          glitch + Seconds(30));
+    auto report = ps.RunBatch(0, 5000, 50.0, /*stop_on_failure=*/true);
+    PrintBatch("same batch + 30s glitch (PA):", report);
+
+    auto restoration = bed.udr().RestoreAllPartitions();
+    std::printf("  consistency restoration: %lld divergent txns merged "
+                "(%lld ops applied, %lld conflicts, %lld dropped by LWW)\n",
+                static_cast<long long>(restoration.divergent_entries),
+                static_cast<long long>(restoration.applied_ops),
+                static_cast<long long>(restoration.conflicting_ops),
+                static_cast<long long>(restoration.dropped_ops));
+    std::printf("  => availability on partition bought with a merge pass "
+                "after healing (§5)\n");
+  }
+
+  std::printf("\ndone.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Lightweight named-counter / named-histogram registry used by the simulation
+// components to report what happened during a scenario run.
+
+#ifndef UDR_COMMON_METRICS_H_
+#define UDR_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace udr {
+
+/// A registry of named counters and histograms. Not thread-safe (the
+/// simulation is single-threaded by design).
+class Metrics {
+ public:
+  /// Adds `delta` to the named counter (creating it at zero).
+  void Add(const std::string& name, int64_t delta = 1) { counters_[name] += delta; }
+
+  /// Current value of the named counter (0 when absent).
+  int64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Records a sample into the named histogram.
+  void Observe(const std::string& name, int64_t value) {
+    histograms_[name].Record(value);
+  }
+
+  /// Access to a named histogram (created empty on first use).
+  Histogram& Hist(const std::string& name) { return histograms_[name]; }
+
+  /// Read-only view of the named histogram; an empty one when absent.
+  const Histogram& HistOrEmpty(const std::string& name) const {
+    static const Histogram kEmpty;
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? kEmpty : it->second;
+  }
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  /// Clears all counters and histograms.
+  void Reset() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+  /// Multi-line dump of all counters (for debugging and examples).
+  std::string Dump() const {
+    std::string out;
+    for (const auto& [k, v] : counters_) {
+      out += k;
+      out += " = ";
+      out += std::to_string(v);
+      out += '\n';
+    }
+    for (const auto& [k, h] : histograms_) {
+      out += k;
+      out += " : ";
+      out += h.Summary();
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace udr
+
+#endif  // UDR_COMMON_METRICS_H_

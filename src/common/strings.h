@@ -1,0 +1,32 @@
+// Small string helpers shared across the library (no locale dependence).
+
+#ifndef UDR_COMMON_STRINGS_H_
+#define UDR_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace udr {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins the elements with the separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace udr
+
+#endif  // UDR_COMMON_STRINGS_H_

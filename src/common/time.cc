@@ -1,0 +1,22 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace udr {
+
+std::string FormatDuration(MicroDuration d) {
+  char buf[64];
+  double ad = static_cast<double>(d < 0 ? -d : d);
+  if (ad < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(d));
+  } else if (ad < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(d) / 1e3);
+  } else if (ad < 60e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(d) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", static_cast<double>(d) / 60e6);
+  }
+  return buf;
+}
+
+}  // namespace udr

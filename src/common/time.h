@@ -1,0 +1,49 @@
+// Simulated-time primitives. All time in the UDR library is virtual and
+// expressed in integer microseconds since simulation start, which makes every
+// run bit-for-bit deterministic.
+
+#ifndef UDR_COMMON_TIME_H_
+#define UDR_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace udr {
+
+/// Virtual time in microseconds since the start of the simulation.
+using MicroTime = int64_t;
+
+/// A duration in microseconds.
+using MicroDuration = int64_t;
+
+constexpr MicroTime kTimeZero = 0;
+constexpr MicroTime kTimeInfinity = std::numeric_limits<int64_t>::max();
+
+constexpr MicroDuration Micros(int64_t us) { return us; }
+constexpr MicroDuration Millis(int64_t ms) { return ms * 1000; }
+constexpr MicroDuration Seconds(int64_t s) { return s * 1000 * 1000; }
+constexpr MicroDuration Minutes(int64_t m) { return m * 60 * 1000 * 1000; }
+constexpr MicroDuration Hours(int64_t h) { return h * 3600LL * 1000 * 1000; }
+
+constexpr double ToMillis(MicroDuration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToSeconds(MicroDuration d) { return static_cast<double>(d) / 1e6; }
+
+/// Formats a duration with an adaptive unit, e.g. "12.5ms", "3.2s".
+std::string FormatDuration(MicroDuration d);
+
+/// A half-open time interval [begin, end).
+struct TimeInterval {
+  MicroTime begin = 0;
+  MicroTime end = 0;
+
+  bool Contains(MicroTime t) const { return t >= begin && t < end; }
+  bool Overlaps(const TimeInterval& o) const {
+    return begin < o.end && o.begin < end;
+  }
+  MicroDuration length() const { return end - begin; }
+};
+
+}  // namespace udr
+
+#endif  // UDR_COMMON_TIME_H_

@@ -1,0 +1,28 @@
+#include "location/identity.h"
+
+namespace udr::location {
+
+const char* IdentityTypeName(IdentityType type) {
+  switch (type) {
+    case IdentityType::kImsi:
+      return "IMSI";
+    case IdentityType::kMsisdn:
+      return "MSISDN";
+    case IdentityType::kImpu:
+      return "IMPU";
+    case IdentityType::kImpi:
+      return "IMPI";
+  }
+  return "?";
+}
+
+uint64_t HashIdentity(const Identity& id) {
+  uint64_t h = 14695981039346656037ULL;
+  h = (h ^ static_cast<uint8_t>(id.type)) * 1099511628211ULL;
+  for (unsigned char c : id.value) {
+    h = (h ^ c) * 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace udr::location

@@ -1,0 +1,213 @@
+#include "location/location_stage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace udr::location {
+
+namespace {
+
+/// log2(n) rounded up, minimum 1 (cost model for tree descent).
+double Log2Ceil(int64_t n) {
+  if (n <= 2) return 1.0;
+  return std::ceil(std::log2(static_cast<double>(n)));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ProvisionedLocationStage
+// ---------------------------------------------------------------------------
+
+ProvisionedLocationStage::ProvisionedLocationStage(LocationCostModel model)
+    : model_(model) {}
+
+ResolveResult ProvisionedLocationStage::Resolve(const Identity& id,
+                                                MicroTime now) {
+  ResolveResult out;
+  if (Syncing(now)) {
+    // §3.4.2: operations issued on the PoA realized by the new blade cluster
+    // cannot be handled during the initial identity-map sync.
+    out.status = Status::Unavailable(
+        "location stage syncing identity maps (scale-out in progress)");
+    return out;
+  }
+  const auto& index = index_[static_cast<int>(id.type)];
+  out.cost = model_.map_base +
+             static_cast<MicroDuration>(
+                 static_cast<double>(model_.map_per_log2) *
+                 Log2Ceil(static_cast<int64_t>(index.size())));
+  auto it = index.find(id.value);
+  if (it == index.end()) {
+    out.status = Status::NotFound("identity " + id.ToString());
+    return out;
+  }
+  out.status = Status::Ok();
+  out.entry = it->second;
+  return out;
+}
+
+Status ProvisionedLocationStage::Bind(const Identity& id,
+                                      const LocationEntry& entry) {
+  index_[static_cast<int>(id.type)][id.value] = entry;
+  return Status::Ok();
+}
+
+Status ProvisionedLocationStage::Unbind(const Identity& id) {
+  auto& index = index_[static_cast<int>(id.type)];
+  if (index.erase(id.value) == 0) {
+    return Status::NotFound("identity " + id.ToString());
+  }
+  return Status::Ok();
+}
+
+int64_t ProvisionedLocationStage::EntryCount() const {
+  int64_t total = 0;
+  for (const auto& index : index_) total += static_cast<int64_t>(index.size());
+  return total;
+}
+
+int64_t ProvisionedLocationStage::ApproxBytes() const {
+  int64_t bytes = 0;
+  for (const auto& index : index_) {
+    for (const auto& [value, _] : index) {
+      bytes += model_.bytes_per_entry + static_cast<int64_t>(value.size());
+    }
+  }
+  return bytes;
+}
+
+MicroDuration ProvisionedLocationStage::BeginSyncFrom(
+    const ProvisionedLocationStage& peer, MicroTime now) {
+  for (int t = 0; t < kIdentityTypeCount; ++t) {
+    index_[t] = peer.index_[t];
+  }
+  MicroDuration window =
+      peer.EntryCount() * model_.sync_per_entry;
+  sync_done_at_ = now + window;
+  return window;
+}
+
+// ---------------------------------------------------------------------------
+// CachedLocationStage
+// ---------------------------------------------------------------------------
+
+CachedLocationStage::CachedLocationStage(
+    std::function<StatusOr<LocationEntry>(const Identity&)> authoritative,
+    std::function<int()> se_count_fn, LocationCostModel model)
+    : authoritative_(std::move(authoritative)),
+      se_count_fn_(std::move(se_count_fn)),
+      model_(model) {}
+
+ResolveResult CachedLocationStage::Resolve(const Identity& id, MicroTime now) {
+  (void)now;
+  ResolveResult out;
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    ++hits_;
+    out.status = Status::Ok();
+    out.entry = it->second;
+    out.cost = model_.map_base;
+    return out;
+  }
+  // Miss: broadcast a location query to every SE in the system (§3.5: "every
+  // cache miss implies locating the subscriber by querying multiple or even
+  // all the SE in the system").
+  ++misses_;
+  out.cache_miss = true;
+  int se_count = se_count_fn_();
+  out.cost = model_.broadcast_rtt + se_count * model_.broadcast_per_se;
+  auto found = authoritative_(id);
+  if (!found.ok()) {
+    out.status = found.status();
+    return out;
+  }
+  cache_[id] = *found;
+  out.status = Status::Ok();
+  out.entry = *found;
+  return out;
+}
+
+Status CachedLocationStage::Bind(const Identity& id,
+                                 const LocationEntry& entry) {
+  cache_[id] = entry;
+  return Status::Ok();
+}
+
+Status CachedLocationStage::Unbind(const Identity& id) {
+  cache_.erase(id);
+  return Status::Ok();
+}
+
+int64_t CachedLocationStage::EntryCount() const {
+  return static_cast<int64_t>(cache_.size());
+}
+
+int64_t CachedLocationStage::ApproxBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [id, _] : cache_) {
+    bytes += model_.bytes_per_entry + static_cast<int64_t>(id.value.size());
+  }
+  return bytes;
+}
+
+void CachedLocationStage::InvalidateAll() { cache_.clear(); }
+
+// ---------------------------------------------------------------------------
+// ConsistentHashLocationStage
+// ---------------------------------------------------------------------------
+
+ConsistentHashLocationStage::ConsistentHashLocationStage(
+    uint32_t partitions, int vnodes_per_partition, LocationCostModel model)
+    : model_(model), partitions_(partitions) {
+  ring_.reserve(static_cast<size_t>(partitions) * vnodes_per_partition);
+  for (uint32_t p = 0; p < partitions; ++p) {
+    for (int v = 0; v < vnodes_per_partition; ++v) {
+      // Stable ring points derived from (partition, vnode) via FNV-1a.
+      uint64_t h = 14695981039346656037ULL;
+      uint64_t seed = (static_cast<uint64_t>(p) << 20) | static_cast<uint64_t>(v);
+      for (int b = 0; b < 8; ++b) {
+        h = (h ^ ((seed >> (b * 8)) & 0xFF)) * 1099511628211ULL;
+      }
+      ring_.emplace_back(h, p);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+uint32_t ConsistentHashLocationStage::PartitionOf(const Identity& id) const {
+  uint64_t h = HashIdentity(id);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, 0u),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+ResolveResult ConsistentHashLocationStage::Resolve(const Identity& id,
+                                                   MicroTime now) {
+  (void)now;
+  ResolveResult out;
+  out.status = Status::Ok();
+  out.entry.key = HashIdentity(id);
+  out.entry.partition = PartitionOf(id);
+  out.cost = model_.hash_lookup;
+  return out;
+}
+
+Status ConsistentHashLocationStage::Bind(const Identity& id,
+                                         const LocationEntry& entry) {
+  if (entry.partition != PartitionOf(id)) {
+    return Status::FailedPrecondition(
+        "consistent hashing cannot honor selective placement for " +
+        id.ToString());
+  }
+  return Status::Ok();
+}
+
+int64_t ConsistentHashLocationStage::ApproxBytes() const {
+  // Ring points only: (8-byte hash + 4-byte partition) per vnode.
+  return static_cast<int64_t>(ring_.size()) * 12;
+}
+
+}  // namespace udr::location

@@ -1,0 +1,42 @@
+// Virtual clock driving the whole simulation. Components never consult wall
+// time; they read and advance a shared SimClock, which keeps runs
+// deterministic and lets scenario drivers compress hours of telecom traffic
+// into milliseconds of CPU.
+
+#ifndef UDR_SIM_CLOCK_H_
+#define UDR_SIM_CLOCK_H_
+
+#include <cassert>
+
+#include "common/time.h"
+
+namespace udr::sim {
+
+/// Monotonic virtual clock (microsecond resolution).
+class SimClock {
+ public:
+  /// Current virtual time.
+  MicroTime Now() const { return now_; }
+
+  /// Advances the clock by a non-negative duration.
+  void Advance(MicroDuration d) {
+    assert(d >= 0);
+    now_ += d;
+  }
+
+  /// Advances the clock to an absolute time (must not move backwards).
+  void AdvanceTo(MicroTime t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+
+  /// Resets to zero (only scenario drivers should do this, between runs).
+  void Reset() { now_ = 0; }
+
+ private:
+  MicroTime now_ = 0;
+};
+
+}  // namespace udr::sim
+
+#endif  // UDR_SIM_CLOCK_H_

@@ -1,0 +1,83 @@
+// The simulated IP network facade: topology (latency) + partition schedule
+// (reachability) + clock. Higher layers ask it two questions:
+//   * "can I RPC from site A to site B right now, and at what cost?"
+//   * "when would a streamed message sent at T actually arrive?"
+
+#ifndef UDR_SIM_NETWORK_H_
+#define UDR_SIM_NETWORK_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "sim/clock.h"
+#include "sim/partition_schedule.h"
+#include "sim/topology.h"
+
+namespace udr::sim {
+
+/// Outcome of an RPC admission check.
+struct RpcCheck {
+  Status status;          ///< Ok, or Unavailable when partitioned.
+  MicroDuration latency;  ///< Round-trip cost when Ok; detection timeout when not.
+};
+
+/// Simulated network. Owns nothing mutable besides the partition schedule;
+/// the clock is shared with the rest of the simulation.
+class Network {
+ public:
+  Network(Topology topology, SimClock* clock)
+      : topology_(std::move(topology)), clock_(clock) {}
+
+  const Topology& topology() const { return topology_; }
+  Topology& mutable_topology() { return topology_; }
+  PartitionSchedule& partitions() { return partitions_; }
+  const PartitionSchedule& partitions() const { return partitions_; }
+  CrashSchedule& crashes() { return crashes_; }
+  const CrashSchedule& crashes() const { return crashes_; }
+  SimClock* clock() const { return clock_; }
+  MicroTime Now() const { return clock_->Now(); }
+
+  /// Timeout after which a non-responding peer is declared unreachable.
+  void set_rpc_timeout(MicroDuration t) { rpc_timeout_ = t; }
+  MicroDuration rpc_timeout() const { return rpc_timeout_; }
+
+  /// Checks whether an RPC from `from` to `to` can complete now. On success
+  /// the latency is a full round trip plus hop overhead; on partition it is
+  /// the failure-detection timeout (fast when both ends are on one LAN).
+  RpcCheck CheckRpc(SiteId from, SiteId to) const {
+    if (partitions_.Reachable(from, to, Now())) {
+      return {Status::Ok(), topology_.Rtt(from, to) + topology_.HopOverhead()};
+    }
+    return {Status::Unavailable("network partition between " +
+                                topology_.SiteName(from) + " and " +
+                                topology_.SiteName(to)),
+            rpc_timeout_};
+  }
+
+  /// One-way latency between sites, ignoring partitions.
+  MicroDuration OneWay(SiteId from, SiteId to) const {
+    return topology_.OneWayLatency(from, to);
+  }
+
+  /// Stream delivery time (replication): messages wait out a partition.
+  MicroTime StreamDeliveryTime(SiteId from, SiteId to, MicroTime send_time) const {
+    return partitions_.DeliveryTime(from, to, send_time,
+                                    topology_.OneWayLatency(from, to));
+  }
+
+  bool Reachable(SiteId from, SiteId to) const {
+    return partitions_.Reachable(from, to, Now());
+  }
+
+ private:
+  Topology topology_;
+  PartitionSchedule partitions_;
+  CrashSchedule crashes_;
+  SimClock* clock_;
+  MicroDuration rpc_timeout_ = Millis(500);
+};
+
+}  // namespace udr::sim
+
+#endif  // UDR_SIM_NETWORK_H_

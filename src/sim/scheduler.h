@@ -1,0 +1,77 @@
+// Minimal deterministic discrete-event scheduler. Most of the library uses
+// lazy time accounting instead of events, but queued-work models (the
+// Provisioning System backlog, batch runners) need ordered future callbacks.
+
+#ifndef UDR_SIM_SCHEDULER_H_
+#define UDR_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/clock.h"
+
+namespace udr::sim {
+
+/// Deterministic event loop over a SimClock. Events at equal times run in
+/// insertion order (stable), which keeps runs reproducible.
+class Scheduler {
+ public:
+  explicit Scheduler(SimClock* clock) : clock_(clock) {}
+
+  /// Schedules `fn` to run at absolute time `when` (>= now).
+  void At(MicroTime when, std::function<void()> fn) {
+    events_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` to run `delay` after now.
+  void After(MicroDuration delay, std::function<void()> fn) {
+    At(clock_->Now() + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue empties or the time horizon is passed.
+  /// Returns the number of events executed.
+  int64_t RunUntil(MicroTime horizon = kTimeInfinity) {
+    int64_t executed = 0;
+    while (!events_.empty()) {
+      const Event& top = events_.top();
+      if (top.when > horizon) break;
+      Event ev = top;
+      events_.pop();
+      if (ev.when > clock_->Now()) clock_->AdvanceTo(ev.when);
+      ev.fn();
+      ++executed;
+    }
+    if (horizon != kTimeInfinity && clock_->Now() < horizon) {
+      clock_->AdvanceTo(horizon);
+    }
+    return executed;
+  }
+
+  bool empty() const { return events_.empty(); }
+  size_t pending() const { return events_.size(); }
+  SimClock* clock() const { return clock_; }
+
+ private:
+  struct Event {
+    MicroTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimClock* clock_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace udr::sim
+
+#endif  // UDR_SIM_SCHEDULER_H_

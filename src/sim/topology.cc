@@ -1,0 +1,37 @@
+#include "sim/topology.h"
+
+#include <cassert>
+
+namespace udr::sim {
+
+Topology::Topology(uint32_t site_count, LatencyConfig config)
+    : site_count_(site_count), config_(config) {
+  assert(site_count > 0);
+  names_.reserve(site_count);
+  for (uint32_t i = 0; i < site_count; ++i) {
+    names_.push_back("site-" + std::to_string(i));
+  }
+  link_latency_.assign(static_cast<size_t>(site_count) * site_count,
+                       config_.backbone_one_way);
+  for (uint32_t i = 0; i < site_count; ++i) {
+    link_latency_[LinkIndex(i, i)] = config_.lan_one_way;
+  }
+}
+
+void Topology::SetSiteName(SiteId site, std::string name) {
+  assert(site < site_count_);
+  names_[site] = std::move(name);
+}
+
+void Topology::SetLinkLatency(SiteId a, SiteId b, MicroDuration one_way) {
+  assert(a < site_count_ && b < site_count_);
+  link_latency_[LinkIndex(a, b)] = one_way;
+  link_latency_[LinkIndex(b, a)] = one_way;
+}
+
+MicroDuration Topology::OneWayLatency(SiteId a, SiteId b) const {
+  assert(a < site_count_ && b < site_count_);
+  return link_latency_[LinkIndex(a, b)];
+}
+
+}  // namespace udr::sim

@@ -1,0 +1,68 @@
+// Network topology model: geographic sites joined by a multi-national IP
+// backbone, with fast local LANs inside each site. This reproduces the
+// latency structure that drives every CAP/PACELC trade-off in the paper
+// (local access ≪ backbone access).
+
+#ifndef UDR_SIM_TOPOLOGY_H_
+#define UDR_SIM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace udr::sim {
+
+/// Identifier of a geographic site (data-center / country region).
+using SiteId = uint32_t;
+
+/// Latency parameters of the simulated IP network.
+struct LatencyConfig {
+  /// One-way latency between two processes on the same site's LAN.
+  MicroDuration lan_one_way = Micros(150);
+  /// Default one-way latency across the IP backbone between two sites.
+  MicroDuration backbone_one_way = Millis(15);
+  /// Fixed per-hop processing overhead (balancer, LDAP server, stack).
+  MicroDuration hop_overhead = Micros(30);
+};
+
+/// Static description of sites and pairwise backbone latencies.
+class Topology {
+ public:
+  /// Creates `site_count` sites with uniform backbone latency.
+  Topology(uint32_t site_count, LatencyConfig config = LatencyConfig());
+
+  uint32_t site_count() const { return site_count_; }
+  const LatencyConfig& config() const { return config_; }
+
+  /// Names a site (for reports); default names are "site-N".
+  void SetSiteName(SiteId site, std::string name);
+  const std::string& SiteName(SiteId site) const { return names_[site]; }
+
+  /// Overrides the one-way backbone latency between two sites (symmetric).
+  void SetLinkLatency(SiteId a, SiteId b, MicroDuration one_way);
+
+  /// One-way message latency between two sites (LAN latency when a == b).
+  MicroDuration OneWayLatency(SiteId a, SiteId b) const;
+
+  /// Round-trip latency between two sites.
+  MicroDuration Rtt(SiteId a, SiteId b) const { return 2 * OneWayLatency(a, b); }
+
+  /// Per-hop fixed processing overhead.
+  MicroDuration HopOverhead() const { return config_.hop_overhead; }
+
+ private:
+  size_t LinkIndex(SiteId a, SiteId b) const {
+    return static_cast<size_t>(a) * site_count_ + b;
+  }
+
+  uint32_t site_count_;
+  LatencyConfig config_;
+  std::vector<std::string> names_;
+  std::vector<MicroDuration> link_latency_;  // site_count^2 matrix, one-way.
+};
+
+}  // namespace udr::sim
+
+#endif  // UDR_SIM_TOPOLOGY_H_

@@ -1,0 +1,60 @@
+#include "storage/commit_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "storage/record_store.h"
+
+namespace udr::storage {
+
+CommitSeq CommitLog::Append(MicroTime commit_time, uint32_t origin_replica,
+                            std::vector<WriteOp> ops) {
+  assert(entries_.empty() || commit_time >= entries_.back().commit_time);
+  LogEntry entry;
+  entry.seq = LastSeq() + 1;
+  entry.commit_time = commit_time;
+  entry.origin_replica = origin_replica;
+  entry.ops = std::move(ops);
+  entries_.push_back(std::move(entry));
+  return entries_.back().seq;
+}
+
+CommitSeq CommitLog::SeqAtTime(MicroTime t) const {
+  // Entries are sorted by commit_time (commit order == time order within one
+  // replica). Binary search for the last entry with commit_time <= t.
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), t,
+      [](MicroTime v, const LogEntry& e) { return v < e.commit_time; });
+  if (it == entries_.begin()) return 0;
+  return std::prev(it)->seq;
+}
+
+void CommitLog::ReplayRange(RecordStore* store, CommitSeq from_seq,
+                            CommitSeq to_seq) const {
+  assert(to_seq <= LastSeq());
+  for (CommitSeq s = from_seq + 1; s <= to_seq; ++s) {
+    for (const WriteOp& op : At(s).ops) ApplyWriteOp(store, op);
+  }
+}
+
+void CommitLog::TruncateAfter(CommitSeq seq) {
+  if (seq >= LastSeq()) return;
+  entries_.resize(seq);
+}
+
+void ApplyWriteOp(RecordStore* store, const WriteOp& op) {
+  switch (op.kind) {
+    case WriteKind::kUpsertAttr:
+      store->SetAttribute(op.key, op.attr, op.attribute.value,
+                          op.attribute.modified_at, op.attribute.writer);
+      break;
+    case WriteKind::kRemoveAttr:
+      store->RemoveAttribute(op.key, op.attr);
+      break;
+    case WriteKind::kDeleteRecord:
+      store->DeleteRecord(op.key);
+      break;
+  }
+}
+
+}  // namespace udr::storage

@@ -1,0 +1,80 @@
+#include "storage/record.h"
+
+#include <algorithm>
+
+namespace udr::storage {
+
+std::string ValueToString(const Value& v) {
+  struct Visitor {
+    std::string operator()(int64_t x) const { return std::to_string(x); }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(const std::vector<std::string>& xs) const {
+      std::string out = "[";
+      for (size_t i = 0; i < xs.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += xs[i];
+      }
+      out += "]";
+      return out;
+    }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+int64_t ValueBytes(const Value& v) {
+  struct Visitor {
+    int64_t operator()(int64_t) const { return 8; }
+    int64_t operator()(bool) const { return 1; }
+    int64_t operator()(const std::string& s) const {
+      return static_cast<int64_t>(s.size()) + 16;
+    }
+    int64_t operator()(const std::vector<std::string>& xs) const {
+      int64_t total = 24;
+      for (const auto& s : xs) total += static_cast<int64_t>(s.size()) + 16;
+      return total;
+    }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+bool ValueEquals(const Value& a, const Value& b) { return a == b; }
+
+void Record::Set(const std::string& name, Value value, MicroTime at,
+                 uint32_t writer) {
+  Attribute& attr = attrs_[name];
+  attr.value = std::move(value);
+  attr.modified_at = at;
+  attr.writer = writer;
+}
+
+bool Record::Remove(const std::string& name) { return attrs_.erase(name) > 0; }
+
+const Attribute* Record::Find(const std::string& name) const {
+  auto it = attrs_.find(name);
+  return it == attrs_.end() ? nullptr : &it->second;
+}
+
+std::optional<Value> Record::Get(const std::string& name) const {
+  auto it = attrs_.find(name);
+  if (it == attrs_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+MicroTime Record::LastModified() const {
+  MicroTime latest = 0;
+  for (const auto& [_, attr] : attrs_) {
+    latest = std::max(latest, attr.modified_at);
+  }
+  return latest;
+}
+
+int64_t Record::ApproxBytes() const {
+  int64_t total = 64;  // Record header + index entry overhead.
+  for (const auto& [name, attr] : attrs_) {
+    total += static_cast<int64_t>(name.size()) + 24 + ValueBytes(attr.value);
+  }
+  return total;
+}
+
+}  // namespace udr::storage

@@ -1,0 +1,94 @@
+// Subscriber data records. A record is a set of named attributes, each with a
+// value plus the modification metadata (time + writing replica) needed by the
+// multi-master consistency-restoration process of the paper's §5.
+
+#ifndef UDR_STORAGE_RECORD_H_
+#define UDR_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.h"
+
+namespace udr::storage {
+
+/// Internal record key. The UDR addresses subscriber data by identity via the
+/// data location stage; inside a storage element records live under a
+/// stable 64-bit key.
+using RecordKey = uint64_t;
+
+/// Attribute value: telecom subscriber profiles mix integers (flags,
+/// counters), strings (identities, addresses) and multi-valued strings
+/// (IMPU lists, service triggers).
+using Value = std::variant<int64_t, bool, std::string, std::vector<std::string>>;
+
+/// Renders a value for logs and examples.
+std::string ValueToString(const Value& v);
+
+/// Approximate RAM footprint of a value in bytes.
+int64_t ValueBytes(const Value& v);
+
+/// True when two values are equal (same alternative and payload).
+bool ValueEquals(const Value& a, const Value& b);
+
+/// One attribute version: the value and who wrote it when. `writer` is a
+/// replica identifier used for last-writer-wins tie-breaking during
+/// consistency restoration.
+struct Attribute {
+  Value value;
+  MicroTime modified_at = 0;
+  uint32_t writer = 0;
+
+  bool operator==(const Attribute& o) const {
+    return ValueEquals(value, o.value) && modified_at == o.modified_at &&
+           writer == o.writer;
+  }
+};
+
+/// A subscriber data record: named attributes plus a record version that
+/// increments on every committed write.
+class Record {
+ public:
+  Record() = default;
+
+  /// Sets (or overwrites) an attribute.
+  void Set(const std::string& name, Value value, MicroTime at, uint32_t writer);
+
+  /// Removes an attribute. Returns true if it existed.
+  bool Remove(const std::string& name);
+
+  /// Attribute lookup; nullptr when absent.
+  const Attribute* Find(const std::string& name) const;
+
+  /// Value lookup; empty when absent.
+  std::optional<Value> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const { return attrs_.count(name) > 0; }
+
+  const std::map<std::string, Attribute>& attributes() const { return attrs_; }
+  uint64_t version() const { return version_; }
+  void set_version(uint64_t v) { version_ = v; }
+  void bump_version() { ++version_; }
+
+  /// Most recent attribute modification time (0 for empty records).
+  MicroTime LastModified() const;
+
+  /// Approximate RAM footprint in bytes (used for SE capacity accounting).
+  int64_t ApproxBytes() const;
+
+  bool operator==(const Record& o) const {
+    return attrs_ == o.attrs_;  // Version excluded: content equality.
+  }
+
+ private:
+  std::map<std::string, Attribute> attrs_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace udr::storage
+
+#endif  // UDR_STORAGE_RECORD_H_

@@ -1,0 +1,64 @@
+#include "storage/record_store.h"
+
+namespace udr::storage {
+
+const Record* RecordStore::Find(RecordKey key) const {
+  auto it = records_.find(key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+Record* RecordStore::FindMutable(RecordKey key) {
+  auto it = records_.find(key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void RecordStore::SetAttribute(RecordKey key, const std::string& name,
+                               Value value, MicroTime at, uint32_t writer) {
+  auto [it, inserted] = records_.try_emplace(key);
+  Record& rec = it->second;
+  if (!inserted) AccountRemove(rec);
+  rec.Set(name, std::move(value), at, writer);
+  rec.bump_version();
+  AccountAdd(rec);
+}
+
+void RecordStore::RemoveAttribute(RecordKey key, const std::string& name) {
+  auto it = records_.find(key);
+  if (it == records_.end()) return;
+  AccountRemove(it->second);
+  it->second.Remove(name);
+  it->second.bump_version();
+  AccountAdd(it->second);
+}
+
+void RecordStore::PutRecord(RecordKey key, Record record) {
+  auto it = records_.find(key);
+  if (it != records_.end()) {
+    AccountRemove(it->second);
+    it->second = std::move(record);
+    AccountAdd(it->second);
+  } else {
+    auto [pos, _] = records_.emplace(key, std::move(record));
+    AccountAdd(pos->second);
+  }
+}
+
+bool RecordStore::DeleteRecord(RecordKey key) {
+  auto it = records_.find(key);
+  if (it == records_.end()) return false;
+  AccountRemove(it->second);
+  records_.erase(it);
+  return true;
+}
+
+void RecordStore::ForEach(
+    const std::function<void(RecordKey, const Record&)>& fn) const {
+  for (const auto& [key, rec] : records_) fn(key, rec);
+}
+
+void RecordStore::Clear() {
+  records_.clear();
+  approx_bytes_ = 0;
+}
+
+}  // namespace udr::storage

@@ -1,0 +1,64 @@
+// Committed-state record store: the RAM-resident hash-indexed table that a
+// storage element keeps for one (sub-)partition of the subscriber space.
+
+#ifndef UDR_STORAGE_RECORD_STORE_H_
+#define UDR_STORAGE_RECORD_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/record.h"
+
+namespace udr::storage {
+
+/// Hash-indexed in-memory record table with byte accounting.
+class RecordStore {
+ public:
+  /// Looks up a record; nullptr when absent.
+  const Record* Find(RecordKey key) const;
+
+  /// Mutable lookup; nullptr when absent. Callers that change record size
+  /// must go through the Set/Remove helpers to keep byte accounting right.
+  Record* FindMutable(RecordKey key);
+
+  bool Contains(RecordKey key) const { return records_.count(key) > 0; }
+
+  /// Sets one attribute, creating the record if needed.
+  void SetAttribute(RecordKey key, const std::string& name, Value value,
+                    MicroTime at, uint32_t writer);
+
+  /// Removes one attribute; removes nothing if absent.
+  void RemoveAttribute(RecordKey key, const std::string& name);
+
+  /// Inserts or replaces a whole record.
+  void PutRecord(RecordKey key, Record record);
+
+  /// Deletes a record. Returns true if it existed.
+  bool DeleteRecord(RecordKey key);
+
+  /// Number of records.
+  int64_t Count() const { return static_cast<int64_t>(records_.size()); }
+
+  /// Approximate RAM usage in bytes.
+  int64_t ApproxBytes() const { return approx_bytes_; }
+
+  /// Iterates all records (scan order is unspecified but deterministic for a
+  /// given insertion history).
+  void ForEach(const std::function<void(RecordKey, const Record&)>& fn) const;
+
+  /// Removes everything.
+  void Clear();
+
+ private:
+  void AccountRemove(const Record& r) { approx_bytes_ -= r.ApproxBytes(); }
+  void AccountAdd(const Record& r) { approx_bytes_ += r.ApproxBytes(); }
+
+  std::unordered_map<RecordKey, Record> records_;
+  int64_t approx_bytes_ = 0;
+};
+
+}  // namespace udr::storage
+
+#endif  // UDR_STORAGE_RECORD_STORE_H_

@@ -1,0 +1,174 @@
+#include "telecom/front_end.h"
+
+#include "common/strings.h"
+#include "ldap/dn.h"
+#include "telecom/subscriber.h"
+
+namespace udr::telecom {
+
+namespace {
+
+const char* DnAttrFor(location::IdentityType type) {
+  switch (type) {
+    case location::IdentityType::kImsi:
+      return "imsi";
+    case location::IdentityType::kMsisdn:
+      return "msisdn";
+    case location::IdentityType::kImpu:
+      return "impu";
+    case location::IdentityType::kImpi:
+      return "impi";
+  }
+  return "imsi";
+}
+
+ldap::Dn DnFor(const location::Identity& id) {
+  return ldap::SubscriberDn(DnAttrFor(id.type), id.value);
+}
+
+}  // namespace
+
+ldap::LdapResult FrontEnd::Read(const location::Identity& id,
+                                const std::vector<std::string>& attrs) const {
+  ldap::LdapRequest req;
+  req.op = ldap::LdapOp::kSearch;
+  req.dn = DnFor(id);
+  req.scope = ldap::SearchScope::kBaseObject;
+  req.filter = "(objectclass=*)";
+  req.requested_attrs = attrs;
+  return udr_->Submit(req, site_);
+}
+
+ldap::LdapResult FrontEnd::Write(const location::Identity& id,
+                                 const std::string& attr,
+                                 storage::Value value) const {
+  ldap::LdapRequest req;
+  req.op = ldap::LdapOp::kModify;
+  req.dn = DnFor(id);
+  req.mods.push_back(
+      ldap::Modification{ldap::ModType::kReplace, attr, std::move(value)});
+  return udr_->Submit(req, site_);
+}
+
+void FrontEnd::Fold(const ldap::LdapResult& r, ProcedureResult* out) {
+  ++out->ldap_ops;
+  out->latency += r.latency;
+  out->any_stale = out->any_stale || r.stale;
+  if (!r.ok()) {
+    ++out->failed_ops;
+    if (out->status.ok()) {
+      out->status = Status(r.code == ldap::LdapResultCode::kUnavailable
+                               ? StatusCode::kUnavailable
+                               : StatusCode::kInternal,
+                           std::string(LdapResultCodeName(r.code)) +
+                               (r.diagnostic.empty() ? "" : ": " + r.diagnostic));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HLR-FE
+// ---------------------------------------------------------------------------
+
+ProcedureResult HlrFe::Authenticate(const location::Identity& id) {
+  ProcedureResult out;
+  Fold(Read(id, {attr::kAuthKey, attr::kSqn}), &out);
+  Count(out);
+  return out;
+}
+
+ProcedureResult HlrFe::UpdateLocation(const location::Identity& id,
+                                      const std::string& vlr_address,
+                                      int64_t location_area) {
+  ProcedureResult out;
+  // Read the profile (roaming permission, category) ...
+  Fold(Read(id, {attr::kRoamingAllowed, attr::kCategory}), &out);
+  if (!out.ok()) {
+    Count(out);
+    return out;
+  }
+  // ... then register the new serving VLR / location area.
+  ldap::LdapRequest req;
+  req.op = ldap::LdapOp::kModify;
+  req.dn = ldap::SubscriberDn(DnAttrFor(id.type), id.value);
+  req.mods.push_back(ldap::Modification{ldap::ModType::kReplace,
+                                        attr::kServingVlr, vlr_address});
+  req.mods.push_back(ldap::Modification{ldap::ModType::kReplace,
+                                        attr::kLocationArea, location_area});
+  Fold(udr_->Submit(req, site_), &out);
+  Count(out);
+  return out;
+}
+
+ProcedureResult HlrFe::SendRoutingInfo(const location::Identity& id) {
+  ProcedureResult out;
+  Fold(Read(id, {attr::kServingVlr, attr::kLocationArea}), &out);
+  if (out.ok()) {
+    Fold(Read(id, {attr::kOdbPremium, attr::kCallForwardingUncond}), &out);
+  }
+  Count(out);
+  return out;
+}
+
+ProcedureResult HlrFe::SmsRouting(const location::Identity& id) {
+  ProcedureResult out;
+  Fold(Read(id, {attr::kServingVlr, attr::kTeleservices}), &out);
+  Count(out);
+  return out;
+}
+
+ProcedureResult HlrFe::InterrogateSs(const location::Identity& id) {
+  ProcedureResult out;
+  Fold(Read(id, {attr::kCallForwardingUncond}), &out);
+  Count(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HSS-FE
+// ---------------------------------------------------------------------------
+
+ProcedureResult HssFe::ImsRegister(const location::Identity& impu,
+                                   const std::string& scscf_name) {
+  ProcedureResult out;
+  // Cx UAR: registration authorization (impu -> profile).
+  Fold(Read(impu, {attr::kImpi, attr::kRegistrationState}), &out);
+  if (!out.ok()) { Count(out); return out; }
+  // Cx MAR: authentication vectors.
+  Fold(Read(impu, {attr::kAuthKey, attr::kSqn}), &out);
+  if (!out.ok()) { Count(out); return out; }
+  // Cx SAR: S-CSCF assignment (write) + registration state (write).
+  Fold(Write(impu, attr::kServingCscf, scscf_name), &out);
+  if (!out.ok()) { Count(out); return out; }
+  Fold(Write(impu, attr::kRegistrationState, std::string("registered")), &out);
+  if (!out.ok()) { Count(out); return out; }
+  // Service profile download + charging info.
+  Fold(Read(impu, {attr::kTeleservices, attr::kOdbPremium}), &out);
+  if (!out.ok()) { Count(out); return out; }
+  Fold(Read(impu, {attr::kChargingProfile}), &out);
+  Count(out);
+  return out;
+}
+
+ProcedureResult HssFe::ImsLocate(const location::Identity& impu) {
+  ProcedureResult out;
+  Fold(Read(impu, {attr::kServingCscf}), &out);
+  if (out.ok()) {
+    Fold(Read(impu, {attr::kRegistrationState}), &out);
+  }
+  Count(out);
+  return out;
+}
+
+ProcedureResult HssFe::ImsDeregister(const location::Identity& impu) {
+  ProcedureResult out;
+  Fold(Read(impu, {attr::kRegistrationState}), &out);
+  if (out.ok()) {
+    Fold(Write(impu, attr::kRegistrationState, std::string("deregistered")),
+         &out);
+  }
+  Count(out);
+  return out;
+}
+
+}  // namespace udr::telecom

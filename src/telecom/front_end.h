@@ -1,0 +1,107 @@
+// Application front-ends (paper §2.2): stateless HLR-FE and HSS-FE processes
+// that execute 3GPP network procedures by reading/writing subscriber data in
+// the UDR over LDAP. Each procedure issues the LDAP operation count the
+// paper quotes: 1-3 ops for typical mobile procedures, 5-6 for IMS.
+
+#ifndef UDR_TELECOM_FRONT_END_H_
+#define UDR_TELECOM_FRONT_END_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "location/identity.h"
+#include "udr/udr_nf.h"
+
+namespace udr::telecom {
+
+/// Outcome of one network procedure.
+struct ProcedureResult {
+  Status status;
+  MicroDuration latency = 0;  ///< Sum of the procedure's UDR op latencies.
+  int ldap_ops = 0;           ///< LDAP operations issued.
+  int failed_ops = 0;         ///< Operations that did not succeed.
+  bool any_stale = false;     ///< Any read served stale from a slave copy.
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Common base: a front-end instance deployed at a site, talking to the UDR.
+class FrontEnd {
+ public:
+  FrontEnd(std::string name, sim::SiteId site, udrnf::UdrNf* udr)
+      : name_(std::move(name)), site_(site), udr_(udr) {}
+  virtual ~FrontEnd() = default;
+
+  const std::string& name() const { return name_; }
+  sim::SiteId site() const { return site_; }
+
+  int64_t procedures_ok() const { return procedures_ok_; }
+  int64_t procedures_failed() const { return procedures_failed_; }
+
+ protected:
+  /// Reads the subscriber entry (projected to `attrs`, empty = all).
+  ldap::LdapResult Read(const location::Identity& id,
+                        const std::vector<std::string>& attrs) const;
+  /// Replaces one attribute of the subscriber entry.
+  ldap::LdapResult Write(const location::Identity& id, const std::string& attr,
+                         storage::Value value) const;
+  /// Folds an LDAP result into a procedure result.
+  static void Fold(const ldap::LdapResult& r, ProcedureResult* out);
+
+  void Count(const ProcedureResult& r) {
+    if (r.ok()) ++procedures_ok_;
+    else ++procedures_failed_;
+  }
+
+  std::string name_;
+  sim::SiteId site_;
+  udrnf::UdrNf* udr_;
+  int64_t procedures_ok_ = 0;
+  int64_t procedures_failed_ = 0;
+};
+
+/// HLR front-end: GSM/LTE circuit & packet domain procedures.
+class HlrFe : public FrontEnd {
+ public:
+  HlrFe(sim::SiteId site, udrnf::UdrNf* udr)
+      : FrontEnd("hlr-fe-" + std::to_string(site), site, udr) {}
+
+  /// Authentication info retrieval (MAP SAI): 1 read.
+  ProcedureResult Authenticate(const location::Identity& id);
+
+  /// Location update (MAP UL): 1 read + 1 write. Registers the serving VLR.
+  ProcedureResult UpdateLocation(const location::Identity& id,
+                                 const std::string& vlr_address,
+                                 int64_t location_area);
+
+  /// Mobile-terminated call setup (MAP SRI): 2 reads (routing + barring).
+  ProcedureResult SendRoutingInfo(const location::Identity& id);
+
+  /// Mobile-originated SMS routing check: 1 read.
+  ProcedureResult SmsRouting(const location::Identity& id);
+
+  /// Supplementary service interrogation (e.g. CFU state): 1 read.
+  ProcedureResult InterrogateSs(const location::Identity& id);
+};
+
+/// HSS front-end: IMS Cx procedures ("somewhat heavier": 5-6 ops each).
+class HssFe : public FrontEnd {
+ public:
+  HssFe(sim::SiteId site, udrnf::UdrNf* udr)
+      : FrontEnd("hss-fe-" + std::to_string(site), site, udr) {}
+
+  /// IMS initial registration (Cx UAR/MAR/SAR): 4 reads + 2 writes.
+  ProcedureResult ImsRegister(const location::Identity& impu,
+                              const std::string& scscf_name);
+
+  /// IMS terminating request (Cx LIR + profile): 2 reads.
+  ProcedureResult ImsLocate(const location::Identity& impu);
+
+  /// IMS de-registration (Cx SAR): 1 read + 1 write.
+  ProcedureResult ImsDeregister(const location::Identity& impu);
+};
+
+}  // namespace udr::telecom
+
+#endif  // UDR_TELECOM_FRONT_END_H_

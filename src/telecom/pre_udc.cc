@@ -1,0 +1,191 @@
+#include "telecom/pre_udc.h"
+
+namespace udr::telecom {
+
+PreUdcNetwork::PreUdcNetwork(PreUdcConfig config, sim::Network* network)
+    : config_(std::move(config)), network_(network) {
+  for (sim::SiteId site : config_.hlr_sites) {
+    hlrs_.push_back(HlrNode{site, true, {}});
+  }
+  for (sim::SiteId site : config_.slf_sites) {
+    slfs_.push_back(SlfNode{site, true, {}});
+  }
+}
+
+size_t PreUdcNetwork::HlrIndexFor(const std::string& imsi) const {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : imsi) h = (h ^ c) * 1099511628211ULL;
+  return static_cast<size_t>(h % hlrs_.size());
+}
+
+Status PreUdcNetwork::WriteNode(sim::SiteId from, sim::SiteId to, bool node_up,
+                                MicroDuration* latency) {
+  if (!node_up) {
+    *latency += network_->rpc_timeout();
+    return Status::Unavailable("node down");
+  }
+  sim::RpcCheck check = network_->CheckRpc(from, to);
+  *latency += check.latency;
+  if (!check.status.ok()) return check.status;
+  *latency += config_.node_write_service;
+  return Status::Ok();
+}
+
+PreUdcProvisionOutcome PreUdcNetwork::Provision(const Subscriber& sub,
+                                                sim::SiteId ps_site) {
+  PreUdcProvisionOutcome out;
+  size_t hlr_idx = HlrIndexFor(sub.imsi);
+  HlrNode& hlr = hlrs_[hlr_idx];
+
+  // Write 1: subscription data on the owning HLR node.
+  ++out.writes_attempted;
+  ++total_writes_;
+  Status hlr_status = WriteNode(ps_site, hlr.site, hlr.up, &out.latency);
+  bool hlr_written = hlr_status.ok();
+  if (hlr_written) {
+    hlr.data[sub.imsi] = sub.profile;
+    ++out.writes_succeeded;
+  }
+
+  // Writes 2..N: identity -> node bindings on EVERY SLF instance.
+  int slf_written = 0;
+  for (SlfNode& slf : slfs_) {
+    ++out.writes_attempted;
+    ++total_writes_;
+    Status st = WriteNode(ps_site, slf.site, slf.up, &out.latency);
+    if (st.ok()) {
+      slf.bindings[sub.imsi] = hlr_idx;
+      slf.bindings[sub.msisdn] = hlr_idx;
+      ++slf_written;
+      ++out.writes_succeeded;
+    }
+  }
+
+  if (out.writes_succeeded == out.writes_attempted) {
+    out.status = Status::Ok();
+  } else if (out.writes_succeeded == 0) {
+    out.status = Status::Unavailable("provisioning failed cleanly");
+  } else {
+    // No transactionality across nodes: some writes landed, some did not.
+    out.partial = true;
+    ++partial_states_;
+    out.status = Status::Internal(
+        "partial provisioning: manual intervention required");
+  }
+  return out;
+}
+
+PreUdcProvisionOutcome PreUdcNetwork::Deprovision(const Subscriber& sub,
+                                                  sim::SiteId ps_site) {
+  PreUdcProvisionOutcome out;
+  size_t hlr_idx = HlrIndexFor(sub.imsi);
+  HlrNode& hlr = hlrs_[hlr_idx];
+
+  ++out.writes_attempted;
+  ++total_writes_;
+  Status hlr_status = WriteNode(ps_site, hlr.site, hlr.up, &out.latency);
+  if (hlr_status.ok()) {
+    hlr.data.erase(sub.imsi);
+    ++out.writes_succeeded;
+  }
+  for (SlfNode& slf : slfs_) {
+    ++out.writes_attempted;
+    ++total_writes_;
+    Status st = WriteNode(ps_site, slf.site, slf.up, &out.latency);
+    if (st.ok()) {
+      slf.bindings.erase(sub.imsi);
+      slf.bindings.erase(sub.msisdn);
+      ++out.writes_succeeded;
+    }
+  }
+  if (out.writes_succeeded == out.writes_attempted) {
+    out.status = Status::Ok();
+  } else if (out.writes_succeeded == 0) {
+    out.status = Status::Unavailable("deprovisioning failed cleanly");
+  } else {
+    out.partial = true;
+    ++partial_states_;
+    out.status = Status::Internal(
+        "partial deprovisioning: manual intervention required");
+  }
+  return out;
+}
+
+PreUdcLookupOutcome PreUdcNetwork::FeRead(const location::Identity& id,
+                                          sim::SiteId fe_site) {
+  PreUdcLookupOutcome out;
+  // Resolve via the nearest reachable SLF instance.
+  int best = -1;
+  MicroDuration best_rtt = 0;
+  for (size_t i = 0; i < slfs_.size(); ++i) {
+    if (!slfs_[i].up) continue;
+    if (!network_->Reachable(fe_site, slfs_[i].site)) continue;
+    MicroDuration rtt = network_->topology().Rtt(fe_site, slfs_[i].site);
+    if (best < 0 || rtt < best_rtt) {
+      best = static_cast<int>(i);
+      best_rtt = rtt;
+    }
+  }
+  if (best < 0) {
+    out.status = Status::Unavailable("no SLF reachable");
+    out.latency = network_->rpc_timeout();
+    return out;
+  }
+  ++out.hops;
+  out.latency += best_rtt + config_.node_read_service;
+  const SlfNode& slf = slfs_[best];
+  auto it = slf.bindings.find(id.value);
+  if (it == slf.bindings.end()) {
+    out.status = Status::NotFound("identity not bound in SLF");
+    return out;
+  }
+  const HlrNode& hlr = hlrs_[it->second];
+  if (!hlr.up) {
+    // The silo owning this subscriber is down: the subscriber loses service
+    // (the node-model failure property, §1).
+    out.status = Status::Unavailable("owning HLR node down");
+    out.latency += network_->rpc_timeout();
+    return out;
+  }
+  sim::RpcCheck check = network_->CheckRpc(fe_site, hlr.site);
+  ++out.hops;
+  out.latency += check.latency;
+  if (!check.status.ok()) {
+    out.status = check.status;
+    return out;
+  }
+  out.latency += config_.node_read_service;
+  out.status = Status::Ok();
+  return out;
+}
+
+bool PreUdcNetwork::GloballyConsistent() const {
+  // Every HLR record must be visible in every SLF; every binding must point
+  // at an existing record.
+  for (size_t h = 0; h < hlrs_.size(); ++h) {
+    for (const auto& [imsi, _] : hlrs_[h].data) {
+      for (const SlfNode& slf : slfs_) {
+        auto it = slf.bindings.find(imsi);
+        if (it == slf.bindings.end() || it->second != h) return false;
+      }
+    }
+  }
+  for (const SlfNode& slf : slfs_) {
+    for (const auto& [identity, h] : slf.bindings) {
+      (void)identity;
+      if (h >= hlrs_.size()) return false;
+    }
+  }
+  // Bindings referring to deleted/missing records.
+  for (const SlfNode& slf : slfs_) {
+    for (const auto& [identity, h] : slf.bindings) {
+      // Only IMSI keys map 1:1 to records; MSISDN bindings share the record.
+      if (identity.size() > 0 && identity[0] != '+') {
+        if (hlrs_[h].data.count(identity) == 0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace udr::telecom

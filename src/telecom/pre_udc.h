@@ -1,0 +1,115 @@
+// Pre-UDC baseline: the node-based subscriber management the paper's
+// Figures 1 and 3 depict. Subscriber data live in vertical HLR silos (each
+// node owns one partition of the subscriber space); signalling routing data
+// (identity -> HLR node) is replicated across SLF instances. Provisioning
+// must write every node involved, with NO cross-node transactionality — the
+// PS carries "very complex logic" and partial failures leave the network in
+// an inconsistent state requiring manual intervention (§2.4).
+
+#ifndef UDR_TELECOM_PRE_UDC_H_
+#define UDR_TELECOM_PRE_UDC_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "sim/network.h"
+#include "storage/record.h"
+#include "telecom/subscriber.h"
+
+namespace udr::telecom {
+
+/// Deployment shape of the baseline network.
+struct PreUdcConfig {
+  /// HLR nodes (each owns one partition of the subscriber space).
+  std::vector<sim::SiteId> hlr_sites = {0, 1, 2};
+  /// SLF instances (each holds the full identity -> node map).
+  std::vector<sim::SiteId> slf_sites = {0, 1, 2};
+  MicroDuration node_write_service = Micros(50);
+  MicroDuration node_read_service = Micros(20);
+};
+
+/// Outcome of a pre-UDC provisioning procedure (multi-node writes).
+struct PreUdcProvisionOutcome {
+  Status status;
+  int writes_attempted = 0;
+  int writes_succeeded = 0;
+  MicroDuration latency = 0;
+  /// Some writes landed, some did not: the network is now inconsistent and
+  /// someone must repair it by hand.
+  bool partial = false;
+};
+
+/// Outcome of an FE lookup in the baseline (SLF resolve + HLR read).
+struct PreUdcLookupOutcome {
+  Status status;
+  MicroDuration latency = 0;
+  int hops = 0;
+};
+
+/// The node-based baseline network.
+class PreUdcNetwork {
+ public:
+  PreUdcNetwork(PreUdcConfig config, sim::Network* network);
+
+  size_t hlr_count() const { return hlrs_.size(); }
+  size_t slf_count() const { return slfs_.size(); }
+
+  /// Takes an HLR or SLF node down / up (failure injection).
+  void SetHlrUp(size_t idx, bool up) { hlrs_[idx].up = up; }
+  void SetSlfUp(size_t idx, bool up) { slfs_[idx].up = up; }
+
+  /// Provisions a subscriber: 1 HLR write + one write per SLF instance,
+  /// each an independent, non-transactional operation.
+  PreUdcProvisionOutcome Provision(const Subscriber& sub, sim::SiteId ps_site);
+
+  /// Removes a subscriber (same multi-write structure).
+  PreUdcProvisionOutcome Deprovision(const Subscriber& sub, sim::SiteId ps_site);
+
+  /// FE data access: resolve the subscriber's HLR via the nearest SLF, then
+  /// read the HLR node.
+  PreUdcLookupOutcome FeRead(const location::Identity& id, sim::SiteId fe_site);
+
+  /// Subscribers whose provisioning left inconsistent state so far.
+  int64_t partial_states() const { return partial_states_; }
+  /// Manual repairs a human operator must perform (one per partial state).
+  int64_t manual_repairs() const { return partial_states_; }
+  /// Writes issued across all provisioning procedures.
+  int64_t total_writes() const { return total_writes_; }
+
+  /// True when every SLF instance agrees with the HLR contents (no dangling
+  /// or missing bindings) — the cross-silo consistency the paper says needs
+  /// "coordinated data management".
+  bool GloballyConsistent() const;
+
+ private:
+  struct HlrNode {
+    sim::SiteId site;
+    bool up = true;
+    std::unordered_map<std::string, storage::Record> data;  // keyed by IMSI.
+  };
+  struct SlfNode {
+    sim::SiteId site;
+    bool up = true;
+    // identity string -> hlr index.
+    std::unordered_map<std::string, size_t> bindings;
+  };
+
+  size_t HlrIndexFor(const std::string& imsi) const;
+  Status WriteNode(sim::SiteId from, sim::SiteId to, bool node_up,
+                   MicroDuration* latency);
+
+  PreUdcConfig config_;
+  sim::Network* network_;
+  std::vector<HlrNode> hlrs_;
+  std::vector<SlfNode> slfs_;
+  int64_t partial_states_ = 0;
+  int64_t total_writes_ = 0;
+};
+
+}  // namespace udr::telecom
+
+#endif  // UDR_TELECOM_PRE_UDC_H_

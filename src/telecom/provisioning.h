@@ -1,0 +1,118 @@
+// The Provisioning System (PS): the back-office client that creates,
+// modifies and removes subscriptions (paper §2.4, §3.3.3).
+//
+// Paper rules reproduced here:
+//   * a PS instance is co-located with a UDR PoA (§3.3.3 measure 1);
+//   * PS reads are master-only (§3.3.3 measure 2) — stale reads are not
+//     acceptable inside provisioning transactions;
+//   * a provisioning procedure is ONE transaction against the UDR (that is
+//     the whole point of UDC, Figure 4);
+//   * batch provisioning pumps a large number of operations back-to-back and
+//     is ruined by a short network glitch when the UDR favors Consistency on
+//     a partition (§4.1);
+//   * a provisioning back-log grows whenever the UDR's provisioning latency
+//     exceeds the arrival rate; if the back-log overflows, operations are
+//     dropped — "outcome would be fatal" (§3.3).
+
+#ifndef UDR_TELECOM_PROVISIONING_H_
+#define UDR_TELECOM_PROVISIONING_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "sim/scheduler.h"
+#include "telecom/front_end.h"
+#include "telecom/subscriber.h"
+#include "udr/udr_nf.h"
+
+namespace udr::telecom {
+
+/// PS deployment parameters.
+struct ProvisioningConfig {
+  sim::SiteId site = 0;          ///< Co-located with this PoA.
+  int retries = 0;               ///< Immediate retries per failed operation.
+};
+
+/// One batch provisioning run.
+struct BatchReport {
+  int64_t attempted = 0;
+  int64_t succeeded = 0;
+  int64_t failed = 0;
+  int64_t skipped = 0;           ///< Not attempted after an abort.
+  bool aborted = false;          ///< Batch stopped on first failure.
+  MicroTime started = 0;
+  MicroTime finished = 0;
+  MicroDuration duration() const { return finished - started; }
+  /// Failed/skipped operations require manual completion (§4.1 cost).
+  int64_t manual_interventions() const { return failed + skipped; }
+};
+
+/// One backlog (queueing) run.
+struct BacklogReport {
+  int64_t arrivals = 0;
+  int64_t served = 0;
+  int64_t failed = 0;
+  int64_t dropped = 0;           ///< Overflow drops ("outcome would be fatal").
+  int64_t max_depth = 0;
+  int64_t final_depth = 0;
+};
+
+/// The Provisioning System.
+class ProvisioningSystem {
+ public:
+  ProvisioningSystem(ProvisioningConfig config, udrnf::UdrNf* udr,
+                     const SubscriberFactory* factory)
+      : config_(config), udr_(udr), factory_(factory) {}
+
+  sim::SiteId site() const { return config_.site; }
+
+  /// Provisions subscriber `index` as ONE transaction (LDAP Add).
+  ProcedureResult Provision(uint64_t index,
+                            std::optional<sim::SiteId> home_site = std::nullopt);
+
+  /// Removes subscriber `index` (read + delete, master-only).
+  ProcedureResult Deprovision(uint64_t index);
+
+  /// Service-management write: toggle premium barring (modify, master path).
+  ProcedureResult SetPremiumBarring(uint64_t index, bool barred);
+
+  /// Service-management write requiring read-modify-write (CFU update): one
+  /// master-only read + one write — the §3.3.3 pattern that forbids slave
+  /// reads.
+  ProcedureResult SetCallForwarding(uint64_t index, const std::string& number);
+
+  /// Pumps `count` provisioning operations starting at subscriber `first`,
+  /// paced at `rate_per_sec`. Advances the simulation clock. When
+  /// `stop_on_failure`, the batch aborts at the first failed operation
+  /// (paper §4.1: "a network glitch as short as 30 seconds may cause a batch
+  /// that's been running for hours to fail").
+  BatchReport RunBatch(uint64_t first, int64_t count, double rate_per_sec,
+                       bool stop_on_failure,
+                       std::optional<sim::SiteId> home_site = std::nullopt);
+
+  /// Queueing model: operations arrive at `arrival_rate_per_sec` for
+  /// `duration`; one server executes them back-to-back; the queue holds at
+  /// most `queue_capacity` operations, beyond which arrivals are dropped.
+  BacklogReport RunBacklog(MicroDuration duration, double arrival_rate_per_sec,
+                           int64_t queue_capacity,
+                           std::optional<sim::SiteId> home_site = std::nullopt,
+                           uint64_t first_index = 0);
+
+  int64_t provisioned() const { return provisioned_; }
+
+ private:
+  ldap::LdapResult SubmitAdd(uint64_t index,
+                             std::optional<sim::SiteId> home_site);
+
+  ProvisioningConfig config_;
+  udrnf::UdrNf* udr_;
+  const SubscriberFactory* factory_;
+  int64_t provisioned_ = 0;
+};
+
+}  // namespace udr::telecom
+
+#endif  // UDR_TELECOM_PROVISIONING_H_

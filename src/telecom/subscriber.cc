@@ -1,0 +1,81 @@
+#include "telecom/subscriber.h"
+
+#include "common/strings.h"
+
+namespace udr::telecom {
+
+SubscriberFactory::SubscriberFactory(uint64_t seed, int mcc, int mnc, int cc)
+    : seed_(seed), mcc_(mcc), mnc_(mnc), cc_(cc) {}
+
+std::string SubscriberFactory::ImsiOf(uint64_t index) const {
+  // MCC (3) + MNC (2, zero padded) + 10-digit MSIN.
+  return StrFormat("%03d%02d%010llu", mcc_, mnc_,
+                   static_cast<unsigned long long>(index + 1));
+}
+
+std::string SubscriberFactory::MsisdnOf(uint64_t index) const {
+  return StrFormat("+%d6%08llu", cc_,
+                   static_cast<unsigned long long>(index + 1));
+}
+
+Subscriber SubscriberFactory::Make(uint64_t index) const {
+  Subscriber s;
+  s.imsi = ImsiOf(index);
+  s.msisdn = MsisdnOf(index);
+  s.impi = s.imsi + StrFormat("@ims.mnc%03d.mcc%03d.3gppnetwork.org", mnc_, mcc_);
+  s.impus = {"sip:" + s.msisdn + StrFormat("@ims.mnc%03d.mcc%03d.3gppnetwork.org",
+                                           mnc_, mcc_),
+             "tel:" + s.msisdn};
+
+  Rng rng(seed_ ^ (index * 0x9E3779B97F4A7C15ULL + 1));
+  storage::Record& p = s.profile;
+  auto set = [&](const char* name, storage::Value v) {
+    p.Set(name, std::move(v), 0, 0);
+  };
+  set(attr::kImsi, s.imsi);
+  set(attr::kMsisdn, s.msisdn);
+  set(attr::kImpi, s.impi);
+  set(attr::kImpu, s.impus);
+
+  // 128-bit authentication key (Ki), hex encoded.
+  std::string ki;
+  for (int i = 0; i < 4; ++i) ki += StrFormat("%08llx",
+      static_cast<unsigned long long>(rng.Next() & 0xFFFFFFFFULL));
+  set(attr::kAuthKey, ki);
+  set(attr::kSqn, static_cast<int64_t>(rng.Uniform(1 << 20)));
+  set(attr::kCategory,
+      std::string(rng.Bernoulli(0.05) ? "priority" : "ordinary"));
+  set(attr::kOdbPremium, rng.Bernoulli(0.12));
+  set(attr::kCallForwardingUncond, std::string());
+  set(attr::kServingVlr, std::string());
+  set(attr::kServingSgsn, std::string());
+  set(attr::kLocationArea, static_cast<int64_t>(0));
+  set(attr::kRegistrationState, std::string("deregistered"));
+  set(attr::kServingCscf, std::string());
+  set(attr::kChargingProfile, static_cast<int64_t>(rng.Uniform(8)));
+  std::vector<std::string> ts = {"ts11", "ts21", "ts22"};
+  if (rng.Bernoulli(0.4)) ts.push_back("ts62");
+  set(attr::kTeleservices, ts);
+  set(attr::kRoamingAllowed, !rng.Bernoulli(0.03));
+  return s;
+}
+
+udrnf::UdrNf::CreateSpec SubscriberFactory::MakeSpec(
+    uint64_t index, std::optional<sim::SiteId> home_site) const {
+  Subscriber s = Make(index);
+  udrnf::UdrNf::CreateSpec spec;
+  spec.identities.push_back(s.ImsiId());
+  spec.identities.push_back(s.MsisdnId());
+  spec.identities.push_back({location::IdentityType::kImpi, s.impi});
+  for (const auto& impu : s.impus) {
+    spec.identities.push_back({location::IdentityType::kImpu, impu});
+  }
+  spec.profile = std::move(s.profile);
+  if (home_site.has_value()) {
+    spec.profile.Set(attr::kHomeSite, static_cast<int64_t>(*home_site), 0, 0);
+    spec.home_site = home_site;
+  }
+  return spec;
+}
+
+}  // namespace udr::telecom

@@ -1,0 +1,68 @@
+// The paper's §3.5 capacity arithmetic as an explicit, testable model.
+// All published figures derive from four primitives:
+//   * a 2-blade SE holds 2e6 average-profile subscribers (200 GB RAM);
+//   * <= 16 SE per blade cluster  =>  32e6 subscribers per cluster;
+//   * <= 256 SE per UDR NF        =>  512e6 subscribers per NF;
+//   * one LDAP server sustains 1e6 indexed ops/s; <= 32 per cluster and
+//     <= 256 clusters  =>  36e6 ops/s per cluster is the paper's printed
+//     figure (see note below) and 9,216e6 ops/s per NF;
+//   * ratio: ~18 LDAP ops per subscriber per second.
+//
+// Note: 32 servers x 1e6 ops/s is 32e6; the paper prints 36e6 ops/s per
+// cluster and 9,216e6 = 256 x 36e6 per NF, implying the authors budgeted
+// 1.125e6 ops/s per server. Both interpretations are exposed here; the
+// benches print the paper's figures next to the strict arithmetic.
+
+#ifndef UDR_UDR_CAPACITY_MODEL_H_
+#define UDR_UDR_CAPACITY_MODEL_H_
+
+#include <cstdint>
+
+namespace udr::udrnf {
+
+/// Parameters of the §3.5 capacity model.
+struct CapacityModel {
+  int64_t se_ram_bytes = 200LL * 1000 * 1000 * 1000;  ///< 200 GB per SE.
+  int64_t subscribers_per_se = 2'000'000;             ///< Tested figure.
+  int se_per_cluster_limit = 16;
+  int se_per_nf_limit = 256;
+  int64_t ldap_ops_per_server = 1'000'000;            ///< Tested figure.
+  int ldap_servers_per_cluster_limit = 32;
+  int clusters_per_nf_limit = 256;
+
+  /// Average RAM footprint per subscriber implied by the SE figures.
+  int64_t BytesPerSubscriber() const {
+    return se_ram_bytes / subscribers_per_se;
+  }
+  /// 16 SE/cluster x 2e6 = 32e6 subscribers per cluster.
+  int64_t SubscribersPerCluster() const {
+    return static_cast<int64_t>(se_per_cluster_limit) * subscribers_per_se;
+  }
+  /// 256 SE/NF x 2e6 = 512e6 subscribers per NF.
+  int64_t SubscribersPerNf() const {
+    return static_cast<int64_t>(se_per_nf_limit) * subscribers_per_se;
+  }
+  /// Strict arithmetic: 32 x 1e6 = 32e6 ops/s per cluster.
+  int64_t LdapOpsPerClusterStrict() const {
+    return static_cast<int64_t>(ldap_servers_per_cluster_limit) *
+           ldap_ops_per_server;
+  }
+  /// The figure the paper prints for one cluster.
+  int64_t LdapOpsPerClusterPaper() const { return 36'000'000; }
+  /// The figure the paper prints for the whole NF (256 x 36e6).
+  int64_t LdapOpsPerNfPaper() const { return 9'216'000'000; }
+  /// Strict arithmetic for the whole NF.
+  int64_t LdapOpsPerNfStrict() const {
+    return static_cast<int64_t>(clusters_per_nf_limit) *
+           LdapOpsPerClusterStrict();
+  }
+  /// ~18 ops per subscriber per second (paper, from 9,216e6 / 512e6).
+  double OpsPerSubscriberPaper() const {
+    return static_cast<double>(LdapOpsPerNfPaper()) /
+           static_cast<double>(SubscribersPerNf());
+  }
+};
+
+}  // namespace udr::udrnf
+
+#endif  // UDR_UDR_CAPACITY_MODEL_H_

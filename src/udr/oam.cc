@@ -1,0 +1,132 @@
+#include "udr/oam.h"
+
+namespace udr::udrnf {
+
+const char* AlarmSeverityName(AlarmSeverity s) {
+  switch (s) {
+    case AlarmSeverity::kWarning:
+      return "WARNING";
+    case AlarmSeverity::kMajor:
+      return "MAJOR";
+    case AlarmSeverity::kCritical:
+      return "CRITICAL";
+  }
+  return "?";
+}
+
+Inventory OamSystem::GetInventory() const {
+  Inventory inv;
+  inv.clusters = static_cast<int>(udr_->cluster_count());
+  inv.storage_elements = udr_->TotalStorageElements();
+  for (size_t c = 0; c < udr_->cluster_count(); ++c) {
+    inv.ldap_servers += static_cast<int>(udr_->cluster(
+        static_cast<uint32_t>(c))->ldap_count());
+  }
+  inv.partitions = static_cast<int>(udr_->partition_count());
+  inv.subscribers = udr_->SubscriberCount();
+  return inv;
+}
+
+void OamSystem::Raise(AlarmSeverity severity, const std::string& source,
+                      const std::string& text,
+                      std::map<std::string, Alarm>* next, int* new_alarms) {
+  std::string key = source + "|" + text;
+  auto it = active_.find(key);
+  if (it != active_.end()) {
+    (*next)[key] = it->second;  // Condition persists; keep original alarm.
+    return;
+  }
+  Alarm alarm;
+  alarm.raised_at = udr_->Now();
+  alarm.severity = severity;
+  alarm.source = source;
+  alarm.text = text;
+  (*next)[key] = alarm;
+  history_.push_back(alarm);
+  ++*new_alarms;
+}
+
+int OamSystem::Scan() {
+  int new_alarms = 0;
+  std::map<std::string, Alarm> next;
+
+  // Partition replica health.
+  for (size_t p = 0; p < udr_->partition_count(); ++p) {
+    auto* rs = udr_->partition(static_cast<uint32_t>(p));
+    int down = 0;
+    for (uint32_t r = 0; r < rs->replica_count(); ++r) {
+      if (!rs->replica_up(r)) ++down;
+    }
+    std::string source = "partition-" + std::to_string(p);
+    if (down > 0 && !rs->replica_up(rs->master_id())) {
+      Raise(AlarmSeverity::kCritical, source,
+            "master copy down, failover pending or in progress", &next,
+            &new_alarms);
+    } else if (static_cast<size_t>(down) >= rs->replica_count() - 1) {
+      Raise(AlarmSeverity::kCritical, source,
+            "redundancy exhausted: one copy left", &next, &new_alarms);
+    } else if (down > 0) {
+      Raise(AlarmSeverity::kMajor, source,
+            std::to_string(down) + " replica(s) down, redundancy degraded",
+            &next, &new_alarms);
+    }
+    if (rs->HasDivergence()) {
+      Raise(AlarmSeverity::kMajor, source,
+            "divergent writes pending consistency restoration", &next,
+            &new_alarms);
+    }
+  }
+
+  // PoA / LDAP farm health and location stage sync state.
+  for (size_t c = 0; c < udr_->cluster_count(); ++c) {
+    auto* cluster = udr_->cluster(static_cast<uint32_t>(c));
+    std::string source = "cluster-" + std::to_string(c);
+    if (cluster->ldap_count() > 0 && cluster->balancer().healthy_count() == 0) {
+      Raise(AlarmSeverity::kCritical, source,
+            "PoA drained: no healthy LDAP server", &next, &new_alarms);
+    }
+    auto* stage = cluster->location_stage();
+    auto* provisioned =
+        dynamic_cast<location::ProvisionedLocationStage*>(stage);
+    if (provisioned != nullptr && provisioned->Syncing(udr_->Now())) {
+      Raise(AlarmSeverity::kWarning, source,
+            "location stage syncing identity maps (scale-out)", &next,
+            &new_alarms);
+    }
+  }
+
+  // Backbone partitions (the operator sees link state too).
+  const auto& topo = udr_->network()->topology();
+  for (sim::SiteId a = 0; a < topo.site_count(); ++a) {
+    for (sim::SiteId b = a + 1; b < topo.site_count(); ++b) {
+      if (!udr_->network()->Reachable(a, b)) {
+        Raise(AlarmSeverity::kCritical,
+              "link-" + topo.SiteName(a) + "-" + topo.SiteName(b),
+              "backbone partition", &next, &new_alarms);
+      }
+    }
+  }
+
+  active_ = std::move(next);
+  return new_alarms;
+}
+
+AvailabilityKpi OamSystem::SampleAvailability(
+    const std::vector<location::Identity>& identities,
+    const std::vector<sim::SiteId>& serving_sites) {
+  AvailabilityKpi kpi;
+  if (serving_sites.empty()) return kpi;
+  for (size_t i = 0; i < identities.size(); ++i) {
+    ++kpi.subscribers_sampled;
+    sim::SiteId site = serving_sites[i % serving_sites.size()];
+    auto loc = udr_->Locate(identities[i], site);
+    if (!loc.status.ok()) continue;
+    auto* rs = udr_->partition(loc.entry.partition);
+    auto rec = rs->ReadRecord(site, loc.entry.key,
+                              replication::ReadPreference::kNearest);
+    if (rec.ok()) ++kpi.reachable;
+  }
+  return kpi;
+}
+
+}  // namespace udr::udrnf

@@ -1,0 +1,97 @@
+// Operation and Maintenance (paper §2.4): a UDC network is operated through
+// an OSS that offers the operator a consolidated view of all nodes. This
+// module provides that view for the simulated UDR NF:
+//   * inventory (clusters / SEs / LDAP servers / partitions / subscribers);
+//   * a health scan that raises alarms for down replicas, degraded
+//     redundancy, syncing location stages and drained PoAs;
+//   * the availability KPI with the paper's footnote-4 semantics: the
+//     99.999% figure is an AVERAGE over subscribers — one subscriber dark
+//     for the whole window while 99,999 others are fine still averages
+//     99.999%.
+
+#ifndef UDR_UDR_OAM_H_
+#define UDR_UDR_OAM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "udr/udr_nf.h"
+
+namespace udr::udrnf {
+
+/// ITU-T style alarm severities.
+enum class AlarmSeverity { kWarning, kMajor, kCritical };
+
+const char* AlarmSeverityName(AlarmSeverity s);
+
+/// One alarm raised by the OSS health scan.
+struct Alarm {
+  MicroTime raised_at = 0;
+  AlarmSeverity severity = AlarmSeverity::kWarning;
+  std::string source;  ///< Object the alarm is about ("partition-3", ...).
+  std::string text;
+};
+
+/// Consolidated NF inventory.
+struct Inventory {
+  int clusters = 0;
+  int storage_elements = 0;
+  int ldap_servers = 0;
+  int partitions = 0;
+  int64_t subscribers = 0;
+};
+
+/// Per-subscriber availability sample set (footnote-4 averaging).
+struct AvailabilityKpi {
+  int64_t subscribers_sampled = 0;
+  int64_t reachable = 0;
+
+  double Availability() const {
+    return subscribers_sampled == 0
+               ? 1.0
+               : static_cast<double>(reachable) /
+                     static_cast<double>(subscribers_sampled);
+  }
+  /// The paper's requirement 3: >= 99.999% on average.
+  bool MeetsFiveNines() const { return Availability() >= 0.99999; }
+};
+
+/// The Operations Support System view onto one UDR NF.
+class OamSystem {
+ public:
+  explicit OamSystem(UdrNf* udr) : udr_(udr) {}
+
+  /// Snapshot of deployed resources.
+  Inventory GetInventory() const;
+
+  /// Scans the NF and raises alarms for newly detected conditions; clears
+  /// conditions that no longer hold. Returns the number of NEW alarms.
+  int Scan();
+
+  /// All alarms raised so far (history, including cleared conditions).
+  const std::vector<Alarm>& alarm_history() const { return history_; }
+  /// Currently active alarm conditions, keyed by source+text.
+  const std::map<std::string, Alarm>& active_alarms() const { return active_; }
+
+  /// Samples data availability: subscriber i counts as available when its
+  /// data can be read right now from `serving_sites[i % size]` via any
+  /// replica. This is the paper's R metric (requirement 3).
+  AvailabilityKpi SampleAvailability(
+      const std::vector<location::Identity>& identities,
+      const std::vector<sim::SiteId>& serving_sites);
+
+ private:
+  void Raise(AlarmSeverity severity, const std::string& source,
+             const std::string& text, std::map<std::string, Alarm>* next,
+             int* new_alarms);
+
+  UdrNf* udr_;
+  std::map<std::string, Alarm> active_;
+  std::vector<Alarm> history_;
+};
+
+}  // namespace udr::udrnf
+
+#endif  // UDR_UDR_OAM_H_

@@ -1,0 +1,676 @@
+#include "udr/udr_nf.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ldap/filter.h"
+#include "replication/write_builder.h"
+
+namespace udr::udrnf {
+
+using ldap::LdapRequest;
+using ldap::LdapResult;
+using ldap::LdapResultCode;
+using ldap::StatusToLdapCode;
+using location::Identity;
+using location::IdentityType;
+using location::LocationEntry;
+using replication::ReadPreference;
+using replication::ReplicaSet;
+using replication::ReplicaSetConfig;
+using replication::WriteBuilder;
+using storage::Record;
+
+UdrNf::UdrNf(UdrConfig config, sim::Network* network)
+    : config_(std::move(config)), network_(network) {}
+
+UdrNf::~UdrNf() = default;
+
+// ---------------------------------------------------------------------------
+// Deployment
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<location::LocationStage> UdrNf::MakeLocationStage() {
+  if (config_.location_kind == LocationKind::kProvisioned) {
+    return std::make_unique<location::ProvisionedLocationStage>(
+        config_.location_model);
+  }
+  return std::make_unique<location::CachedLocationStage>(
+      [this](const Identity& id) { return AuthoritativeLookup(id); },
+      [this]() { return TotalStorageElements(); }, config_.location_model);
+}
+
+StatusOr<BladeCluster*> UdrNf::AddCluster(sim::SiteId site) {
+  if (clusters_.size() >= kMaxClustersPerNf) {
+    return Status::ResourceExhausted("UDR NF already at 256 blade clusters");
+  }
+  auto cluster = std::make_unique<BladeCluster>(
+      static_cast<uint32_t>(clusters_.size()), site, network_->clock());
+
+  for (int i = 0; i < config_.se_per_cluster; ++i) {
+    storage::StorageElementConfig se_cfg = config_.se_template;
+    auto se = cluster->AddStorageElement(
+        se_cfg, static_cast<uint32_t>(all_ses_.size()));
+    if (!se.ok()) return se.status();
+    SeRef ref;
+    ref.se = *se;
+    ref.cluster = cluster->id();
+    all_ses_.push_back(ref);
+  }
+  for (int i = 0; i < config_.ldap_per_cluster; ++i) {
+    auto server = cluster->AddLdapServer(config_.ldap_template, this);
+    if (!server.ok()) return server.status();
+  }
+
+  auto stage = MakeLocationStage();
+  if (config_.location_kind == LocationKind::kProvisioned && !clusters_.empty()) {
+    // §3.4.2: the new data location stage instance syncs its identity maps
+    // from a peer; the new PoA cannot serve until the copy completes.
+    auto* self = static_cast<location::ProvisionedLocationStage*>(stage.get());
+    auto* peer = static_cast<location::ProvisionedLocationStage*>(
+        clusters_.front()->location_stage());
+    if (peer != nullptr) {
+      MicroDuration window = self->BeginSyncFrom(*peer, Now());
+      metrics_.Observe("scaleout.sync_window_us", window);
+    }
+  }
+  cluster->SetLocationStage(std::move(stage));
+
+  clusters_.push_back(std::move(cluster));
+  return clusters_.back().get();
+}
+
+void UdrNf::CommissionPartitions() {
+  for (size_t i = 0; i < all_ses_.size(); ++i) {
+    SeRef& primary = all_ses_[i];
+    if (primary.has_partition) continue;
+
+    // Secondary copies: prefer SEs in other clusters (geographic dispersion,
+    // §3.1 decision 2), least-loaded first; fall back to same-cluster SEs.
+    std::vector<size_t> candidates;
+    for (size_t j = 0; j < all_ses_.size(); ++j) {
+      if (j != i) candidates.push_back(j);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](size_t a, size_t b) {
+                       bool a_other = all_ses_[a].cluster != primary.cluster;
+                       bool b_other = all_ses_[b].cluster != primary.cluster;
+                       if (a_other != b_other) return a_other;
+                       if (all_ses_[a].secondary_load !=
+                           all_ses_[b].secondary_load) {
+                         return all_ses_[a].secondary_load <
+                                all_ses_[b].secondary_load;
+                       }
+                       return a < b;
+                     });
+
+    std::vector<storage::StorageElement*> members;
+    members.push_back(primary.se);
+    std::vector<uint32_t> used_clusters = {primary.cluster};
+    for (size_t j : candidates) {
+      if (static_cast<int>(members.size()) >= config_.replication_factor) break;
+      // First pass: one copy per cluster where possible.
+      if (std::count(used_clusters.begin(), used_clusters.end(),
+                     all_ses_[j].cluster) > 0 &&
+          candidates.size() + 1 >
+              static_cast<size_t>(config_.replication_factor)) {
+        bool can_still_fill = false;
+        int remaining = config_.replication_factor -
+                        static_cast<int>(members.size());
+        int distinct_left = 0;
+        for (size_t k : candidates) {
+          if (std::count(used_clusters.begin(), used_clusters.end(),
+                         all_ses_[k].cluster) == 0) {
+            ++distinct_left;
+          }
+        }
+        can_still_fill = distinct_left >= remaining;
+        if (can_still_fill) continue;
+      }
+      members.push_back(all_ses_[j].se);
+      used_clusters.push_back(all_ses_[j].cluster);
+      ++all_ses_[j].secondary_load;
+    }
+
+    ReplicaSetConfig rs_cfg;
+    rs_cfg.name = "partition-" + std::to_string(partitions_.size());
+    rs_cfg.sync_mode = config_.sync_mode;
+    rs_cfg.partition_mode = config_.partition_mode;
+    rs_cfg.merge_policy = config_.merge_policy;
+    rs_cfg.failover_detection = config_.failover_detection;
+    rs_cfg.async_ship_delay = config_.async_ship_delay;
+    partitions_.push_back(
+        std::make_unique<ReplicaSet>(rs_cfg, std::move(members), network_));
+    partition_population_.push_back(0);
+    primary.has_partition = true;
+  }
+}
+
+BladeCluster* UdrNf::ClusterAtSite(sim::SiteId site) {
+  for (auto& c : clusters_) {
+    if (c->site() == site) return c.get();
+  }
+  return nullptr;
+}
+
+int UdrNf::TotalStorageElements() const {
+  int total = 0;
+  for (const auto& c : clusters_) total += static_cast<int>(c->se_count());
+  return total;
+}
+
+int64_t UdrNf::TotalLdapOpsPerSecond() const {
+  int64_t total = 0;
+  for (const auto& c : clusters_) total += c->LdapOpsPerSecond();
+  return total;
+}
+
+int64_t UdrNf::TotalSubscriberCapacity(int64_t avg_record_bytes) const {
+  int64_t total = 0;
+  for (const auto& c : clusters_) {
+    total += c->SubscriberCapacity(avg_record_bytes);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Identity helpers
+// ---------------------------------------------------------------------------
+
+bool UdrNf::IsIdentityAttr(const std::string& attr) {
+  return IdentityTypeForAttr(attr).has_value();
+}
+
+std::optional<IdentityType> UdrNf::IdentityTypeForAttr(const std::string& attr) {
+  if (attr == "imsi") return IdentityType::kImsi;
+  if (attr == "msisdn") return IdentityType::kMsisdn;
+  if (attr == "impu") return IdentityType::kImpu;
+  if (attr == "impi") return IdentityType::kImpi;
+  return std::nullopt;
+}
+
+StatusOr<LocationEntry> UdrNf::AuthoritativeLookup(const Identity& id) const {
+  auto it = authoritative_.find(id);
+  if (it == authoritative_.end()) {
+    return Status::NotFound("identity " + id.ToString() + " not provisioned");
+  }
+  return it->second;
+}
+
+void UdrNf::BindEverywhere(const Identity& id, const LocationEntry& entry) {
+  authoritative_[id] = entry;
+  for (auto& c : clusters_) {
+    if (c->location_stage() != nullptr) {
+      (void)c->location_stage()->Bind(id, entry);
+    }
+  }
+}
+
+void UdrNf::UnbindEverywhere(const Identity& id) {
+  authoritative_.erase(id);
+  for (auto& c : clusters_) {
+    if (c->location_stage() != nullptr) {
+      (void)c->location_stage()->Unbind(id);
+    }
+  }
+}
+
+location::ResolveResult UdrNf::Locate(const Identity& id, sim::SiteId poa_site) {
+  BladeCluster* cluster = ClusterAtSite(poa_site);
+  if (cluster == nullptr || cluster->location_stage() == nullptr) {
+    location::ResolveResult out;
+    out.status = Status::Unavailable("no location stage at site " +
+                                     std::to_string(poa_site));
+    return out;
+  }
+  return cluster->location_stage()->Resolve(id, Now());
+}
+
+std::vector<Identity> UdrNf::IdentitiesOfRecord(const Record& record) const {
+  std::vector<Identity> out;
+  for (const char* attr : {"imsi", "msisdn", "impi"}) {
+    auto v = record.Get(attr);
+    if (v.has_value()) {
+      if (const auto* s = std::get_if<std::string>(&*v)) {
+        out.push_back(Identity{*IdentityTypeForAttr(attr), *s});
+      }
+    }
+  }
+  auto impus = record.Get("impu");
+  if (impus.has_value()) {
+    if (const auto* xs = std::get_if<std::vector<std::string>>(&*impus)) {
+      for (const auto& x : *xs) {
+        out.push_back(Identity{IdentityType::kImpu, x});
+      }
+    } else if (const auto* s = std::get_if<std::string>(&*impus)) {
+      out.push_back(Identity{IdentityType::kImpu, *s});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Subscriber administration
+// ---------------------------------------------------------------------------
+
+StatusOr<uint32_t> UdrNf::PickPartitionForCreate(
+    std::optional<sim::SiteId> home_site) {
+  CommissionPartitions();
+  if (partitions_.empty()) {
+    return Status::FailedPrecondition("no storage deployed in the UDR NF");
+  }
+  int best = -1;
+  if (home_site.has_value()) {
+    // Selective placement (§3.5): pin to a partition whose master copy sits
+    // at the requested site.
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      if (partitions_[p]->master_site() != *home_site) continue;
+      if (best < 0 ||
+          partition_population_[p] < partition_population_[best]) {
+        best = static_cast<int>(p);
+      }
+    }
+    if (best >= 0) return static_cast<uint32_t>(best);
+    // Fall through to global placement when no partition lives there.
+  }
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    if (best < 0 || partition_population_[p] < partition_population_[best]) {
+      best = static_cast<int>(p);
+    }
+  }
+  return static_cast<uint32_t>(best);
+}
+
+StatusOr<UdrNf::CreateOutcome> UdrNf::CreateSubscriber(const CreateSpec& spec,
+                                                       sim::SiteId origin_site) {
+  if (spec.identities.empty()) {
+    return Status::InvalidArgument("subscription needs at least one identity");
+  }
+  for (const Identity& id : spec.identities) {
+    if (authoritative_.count(id) > 0) {
+      return Status::AlreadyExists("identity " + id.ToString() +
+                                   " already provisioned");
+    }
+  }
+  UDR_ASSIGN_OR_RETURN(uint32_t pidx, PickPartitionForCreate(spec.home_site));
+  ReplicaSet* rs = partitions_[pidx].get();
+
+  // Capacity admission on the primary copy's storage element.
+  int64_t bytes = spec.profile.ApproxBytes();
+  const storage::RecordStore& mstore = rs->replica_store(rs->master_id());
+  (void)mstore;
+  // All copies grow by the same amount; admission uses the primary.
+  // (Each ReplicaSet member may host several partitions on one SE.)
+  storage::StorageElement* primary_se = nullptr;
+  for (auto& ref : all_ses_) {
+    if (&ref.se->store() == &rs->replica_store(rs->master_id())) {
+      primary_se = ref.se;
+      break;
+    }
+  }
+  if (primary_se != nullptr) {
+    UDR_RETURN_IF_ERROR(primary_se->CheckCapacity(bytes));
+  }
+
+  storage::RecordKey key = next_key_++;
+  WriteBuilder wb;
+  wb.PutRecord(key, spec.profile);
+  replication::WriteResult write = rs->Write(origin_site, std::move(wb).Build());
+  if (!write.status.ok()) {
+    metrics_.Add("udr.create.rejected");
+    return write.status;
+  }
+
+  LocationEntry entry;
+  entry.key = key;
+  entry.partition = pidx;
+  for (const Identity& id : spec.identities) {
+    BindEverywhere(id, entry);
+  }
+  ++partition_population_[pidx];
+  ++subscriber_count_;
+  metrics_.Add("udr.create.ok");
+
+  CreateOutcome out;
+  out.entry = entry;
+  out.write = write;
+  return out;
+}
+
+Status UdrNf::DeleteSubscriber(const Identity& id, sim::SiteId origin_site) {
+  UDR_ASSIGN_OR_RETURN(LocationEntry entry, AuthoritativeLookup(id));
+  ReplicaSet* rs = partitions_[entry.partition].get();
+  auto record = rs->ReadRecord(origin_site, entry.key,
+                               ReadPreference::kMasterOnly, nullptr);
+  if (!record.ok()) return record.status();
+
+  WriteBuilder wb;
+  wb.Delete(entry.key);
+  replication::WriteResult write = rs->Write(origin_site, std::move(wb).Build());
+  if (!write.status.ok()) return write.status;
+
+  for (const Identity& sub_id : IdentitiesOfRecord(*record)) {
+    UnbindEverywhere(sub_id);
+  }
+  UnbindEverywhere(id);  // Defensive: DN identity may not appear in attrs.
+  --partition_population_[entry.partition];
+  --subscriber_count_;
+  metrics_.Add("udr.delete.ok");
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// LDAP front door
+// ---------------------------------------------------------------------------
+
+StatusOr<uint32_t> UdrNf::FindPoaCluster(sim::SiteId client_site) const {
+  int best = -1;
+  MicroDuration best_rtt = 0;
+  for (size_t i = 0; i < clusters_.size(); ++i) {
+    sim::SiteId s = clusters_[i]->site();
+    if (!network_->Reachable(client_site, s)) continue;
+    MicroDuration rtt = network_->topology().Rtt(client_site, s);
+    if (best < 0 || rtt < best_rtt) {
+      best = static_cast<int>(i);
+      best_rtt = rtt;
+    }
+  }
+  if (best < 0) {
+    return Status::Unavailable("no reachable Point of Access from site " +
+                               std::to_string(client_site));
+  }
+  return static_cast<uint32_t>(best);
+}
+
+LdapResult UdrNf::Submit(const LdapRequest& request, sim::SiteId client_site) {
+  auto poa = FindPoaCluster(client_site);
+  if (!poa.ok()) {
+    LdapResult r;
+    r.code = LdapResultCode::kUnavailable;
+    r.diagnostic = poa.status().message();
+    r.latency = network_->rpc_timeout();
+    metrics_.Add("udr.submit.unavailable");
+    return r;
+  }
+  BladeCluster* cluster = clusters_[*poa].get();
+  LdapResult result = cluster->balancer().Serve(request, cluster->site());
+  // Client <-> PoA leg (LAN when the client is co-located, §3.3.2 measure 1).
+  result.latency += network_->topology().Rtt(client_site, cluster->site()) +
+                    network_->topology().HopOverhead();
+  metrics_.Add(result.ok() ? "udr.submit.ok" : "udr.submit.failed");
+  return result;
+}
+
+StatusOr<Identity> UdrNf::RequestIdentity(const LdapRequest& request) const {
+  // Base-object operations name the subscriber in the DN leaf.
+  if (!request.dn.empty()) {
+    const ldap::Rdn& leaf = request.dn.leaf();
+    auto type = IdentityTypeForAttr(leaf.attr);
+    if (type.has_value()) {
+      return Identity{*type, leaf.value};
+    }
+  }
+  // Single-level searches under ou=subscribers use an equality filter on an
+  // identity attribute (the SLF-style lookup pattern).
+  if (request.op == ldap::LdapOp::kSearch &&
+      request.scope == ldap::SearchScope::kSingleLevel) {
+    auto filter = ldap::Filter::Parse(request.filter);
+    if (filter.ok() && filter->kind() == ldap::Filter::Kind::kEquality) {
+      auto type = IdentityTypeForAttr(filter->attr());
+      if (type.has_value()) {
+        return Identity{*type, filter->value()};
+      }
+    }
+  }
+  return Status::InvalidArgument(
+      "request does not address a subscriber identity (dn=" +
+      request.dn.ToString() + ")");
+}
+
+ReadPreference UdrNf::ReadPrefFor(const LdapRequest& request) const {
+  if (request.master_only || !config_.fe_slave_reads) {
+    return ReadPreference::kMasterOnly;
+  }
+  return ReadPreference::kNearest;
+}
+
+LdapResult UdrNf::Process(const LdapRequest& request, uint32_t poa_site) {
+  switch (request.op) {
+    case ldap::LdapOp::kSearch:
+      return DoSearch(request, poa_site);
+    case ldap::LdapOp::kAdd:
+      return DoAdd(request, poa_site);
+    case ldap::LdapOp::kModify:
+      return DoModify(request, poa_site);
+    case ldap::LdapOp::kDelete:
+      return DoDelete(request, poa_site);
+    case ldap::LdapOp::kCompare:
+      return DoCompare(request, poa_site);
+  }
+  LdapResult r;
+  r.code = LdapResultCode::kProtocolError;
+  r.diagnostic = "unsupported operation";
+  return r;
+}
+
+LdapResult UdrNf::DoSearch(const LdapRequest& request, uint32_t poa_site) {
+  LdapResult r;
+  auto identity = RequestIdentity(request);
+  if (!identity.ok()) {
+    r.code = StatusToLdapCode(identity.status());
+    r.diagnostic = identity.status().message();
+    return r;
+  }
+  location::ResolveResult loc = Locate(*identity, poa_site);
+  r.latency += loc.cost;
+  if (!loc.status.ok()) {
+    r.code = StatusToLdapCode(loc.status);
+    r.diagnostic = loc.status.message();
+    return r;
+  }
+  ReplicaSet* rs = partitions_[loc.entry.partition].get();
+  replication::ReadResult meta;
+  auto record =
+      rs->ReadRecord(poa_site, loc.entry.key, ReadPrefFor(request), &meta);
+  r.latency += meta.latency;
+  r.stale = meta.stale;
+  if (!record.ok()) {
+    r.code = StatusToLdapCode(record.status());
+    r.diagnostic = record.status().message();
+    return r;
+  }
+  auto filter = ldap::Filter::Parse(request.filter);
+  if (!filter.ok()) {
+    r.code = LdapResultCode::kProtocolError;
+    r.diagnostic = filter.status().message();
+    return r;
+  }
+  bool matches = filter->kind() == ldap::Filter::Kind::kPresence &&
+                         filter->attr() == "objectclass"
+                     ? true
+                     : filter->Matches(*record);
+  if (matches) {
+    ldap::SearchEntry entry;
+    entry.dn = request.dn;
+    if (request.requested_attrs.empty()) {
+      entry.record = *record;
+    } else {
+      for (const std::string& attr : request.requested_attrs) {
+        const storage::Attribute* a = record->Find(attr);
+        if (a != nullptr) {
+          entry.record.Set(attr, a->value, a->modified_at, a->writer);
+        }
+      }
+    }
+    r.entries.push_back(std::move(entry));
+  }
+  r.code = LdapResultCode::kSuccess;
+  metrics_.Add("udr.search.ok");
+  return r;
+}
+
+LdapResult UdrNf::DoAdd(const LdapRequest& request, uint32_t poa_site) {
+  LdapResult r;
+  if (request.dn.empty() || !IsIdentityAttr(request.dn.leaf().attr)) {
+    r.code = LdapResultCode::kUnwillingToPerform;
+    r.diagnostic = "Add must target an identity-keyed subscriber DN";
+    return r;
+  }
+  CreateSpec spec;
+  spec.profile = request.add_entry;
+  // The DN leaf identity plus any identity attributes in the entry.
+  spec.identities.push_back(Identity{
+      *IdentityTypeForAttr(request.dn.leaf().attr), request.dn.leaf().value});
+  for (const Identity& id : IdentitiesOfRecord(request.add_entry)) {
+    if (!(id == spec.identities.front())) spec.identities.push_back(id);
+  }
+  auto home = request.add_entry.Get("homesite");
+  if (home.has_value()) {
+    if (const auto* v = std::get_if<int64_t>(&*home)) {
+      spec.home_site = static_cast<sim::SiteId>(*v);
+    }
+  }
+  auto outcome = CreateSubscriber(spec, poa_site);
+  if (!outcome.ok()) {
+    r.code = StatusToLdapCode(outcome.status());
+    r.diagnostic = outcome.status().message();
+    r.latency += network_->rpc_timeout() / 100;  // Admission-failure handling.
+    if (outcome.status().IsUnavailable()) r.latency = network_->rpc_timeout();
+    return r;
+  }
+  r.latency += outcome->write.latency;
+  r.code = LdapResultCode::kSuccess;
+  return r;
+}
+
+LdapResult UdrNf::DoModify(const LdapRequest& request, uint32_t poa_site) {
+  LdapResult r;
+  auto identity = RequestIdentity(request);
+  if (!identity.ok()) {
+    r.code = StatusToLdapCode(identity.status());
+    r.diagnostic = identity.status().message();
+    return r;
+  }
+  location::ResolveResult loc = Locate(*identity, poa_site);
+  r.latency += loc.cost;
+  if (!loc.status.ok()) {
+    r.code = StatusToLdapCode(loc.status);
+    r.diagnostic = loc.status.message();
+    return r;
+  }
+  WriteBuilder wb;
+  for (const ldap::Modification& mod : request.mods) {
+    if (IsIdentityAttr(mod.attr)) {
+      r.code = LdapResultCode::kUnwillingToPerform;
+      r.diagnostic = "identity attributes are immutable; delete and re-add";
+      return r;
+    }
+    switch (mod.type) {
+      case ldap::ModType::kAdd:
+      case ldap::ModType::kReplace:
+        wb.Set(loc.entry.key, mod.attr, mod.value);
+        break;
+      case ldap::ModType::kDelete:
+        wb.Remove(loc.entry.key, mod.attr);
+        break;
+    }
+  }
+  ReplicaSet* rs = partitions_[loc.entry.partition].get();
+  replication::WriteResult write = rs->Write(poa_site, std::move(wb).Build());
+  r.latency += write.latency;
+  if (!write.status.ok()) {
+    r.code = StatusToLdapCode(write.status);
+    r.diagnostic = write.status.message();
+    metrics_.Add("udr.modify.failed");
+    return r;
+  }
+  r.code = LdapResultCode::kSuccess;
+  metrics_.Add("udr.modify.ok");
+  return r;
+}
+
+LdapResult UdrNf::DoDelete(const LdapRequest& request, uint32_t poa_site) {
+  LdapResult r;
+  auto identity = RequestIdentity(request);
+  if (!identity.ok()) {
+    r.code = StatusToLdapCode(identity.status());
+    r.diagnostic = identity.status().message();
+    return r;
+  }
+  location::ResolveResult loc = Locate(*identity, poa_site);
+  r.latency += loc.cost;
+  if (!loc.status.ok()) {
+    r.code = StatusToLdapCode(loc.status);
+    r.diagnostic = loc.status.message();
+    return r;
+  }
+  Status st = DeleteSubscriber(*identity, poa_site);
+  if (!st.ok()) {
+    r.code = StatusToLdapCode(st);
+    r.diagnostic = st.message();
+    return r;
+  }
+  // Latency: one master read + one replicated delete, both at the partition.
+  ReplicaSet* rs = partitions_[loc.entry.partition].get();
+  (void)rs;
+  r.latency += network_->topology().Rtt(poa_site,
+                                        partitions_[loc.entry.partition]
+                                            ->master_site()) +
+               config_.se_template.write_service_time;
+  r.code = LdapResultCode::kSuccess;
+  return r;
+}
+
+LdapResult UdrNf::DoCompare(const LdapRequest& request, uint32_t poa_site) {
+  LdapResult r;
+  auto identity = RequestIdentity(request);
+  if (!identity.ok()) {
+    r.code = StatusToLdapCode(identity.status());
+    r.diagnostic = identity.status().message();
+    return r;
+  }
+  location::ResolveResult loc = Locate(*identity, poa_site);
+  r.latency += loc.cost;
+  if (!loc.status.ok()) {
+    r.code = StatusToLdapCode(loc.status);
+    r.diagnostic = loc.status.message();
+    return r;
+  }
+  ReplicaSet* rs = partitions_[loc.entry.partition].get();
+  replication::ReadResult read = rs->ReadAttribute(
+      poa_site, loc.entry.key, request.compare_attr, ReadPrefFor(request));
+  r.latency += read.latency;
+  r.stale = read.stale;
+  if (!read.status.ok()) {
+    r.code = StatusToLdapCode(read.status);
+    r.diagnostic = read.status.message();
+    return r;
+  }
+  r.code = storage::ValueToString(*read.value) == request.compare_value
+               ? LdapResultCode::kCompareTrue
+               : LdapResultCode::kCompareFalse;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------------
+
+void UdrNf::CatchUpAllPartitions() {
+  for (auto& p : partitions_) p->CatchUpAll();
+}
+
+replication::RestorationReport UdrNf::RestoreAllPartitions() {
+  replication::RestorationReport agg;
+  for (auto& p : partitions_) {
+    replication::RestorationReport r = p->RestoreConsistency();
+    agg.divergent_entries += r.divergent_entries;
+    agg.applied_ops += r.applied_ops;
+    agg.conflicting_ops += r.conflicting_ops;
+    agg.dropped_ops += r.dropped_ops;
+    agg.manual_ops += r.manual_ops;
+  }
+  return agg;
+}
+
+}  // namespace udr::udrnf

@@ -1,0 +1,207 @@
+// UdrNf: the complete User Data Repository network function (paper §2.3).
+//
+// Composition:
+//   * blade clusters at geographic sites (scale-out unit), each with storage
+//     elements, stateless LDAP servers behind an L4 balancer (the PoA), and
+//     a data location stage instance;
+//   * data partitions: every SE holds the primary copy of one partition and
+//     secondary copies of other partitions (paper Figure 2), coordinated by
+//     replication::ReplicaSet;
+//   * the northbound LDAP interface (UDC-mandated), implemented by this
+//     class as an ldap::LdapBackend;
+//   * placement: subscribers are assigned to partitions round-robin, or
+//     pinned near their home region via selective placement (§3.5).
+//
+// The class also exposes the internal administration surface the
+// Provisioning System and benchmark harness need: subscriber create/delete,
+// scale-out, partition access, failover and consistency restoration.
+
+#ifndef UDR_UDR_UDR_NF_H_
+#define UDR_UDR_UDR_NF_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "ldap/message.h"
+#include "location/identity.h"
+#include "location/location_stage.h"
+#include "replication/replica_set.h"
+#include "sim/network.h"
+#include "udr/blade_cluster.h"
+
+namespace udr::udrnf {
+
+/// Which data location stage realization the NF deploys (§3.5).
+enum class LocationKind { kProvisioned, kCached };
+
+/// NF-wide configuration.
+struct UdrConfig {
+  /// Copies per partition (1 primary + N-1 geographically disperse
+  /// secondaries; the paper uses 2-3).
+  int replication_factor = 3;
+  replication::SyncMode sync_mode = replication::SyncMode::kAsync;
+  replication::PartitionMode partition_mode =
+      replication::PartitionMode::kPreferConsistency;
+  replication::MergePolicy merge_policy = replication::MergePolicy::kFieldMergeLww;
+  MicroDuration failover_detection = Seconds(5);
+  /// Async log-shipper batching window (see ReplicaSetConfig).
+  MicroDuration async_ship_delay = 0;
+  /// §3.3.2 decision 2: front-end reads may be served by slave copies.
+  bool fe_slave_reads = true;
+  LocationKind location_kind = LocationKind::kProvisioned;
+  int se_per_cluster = 2;
+  int ldap_per_cluster = 2;
+  storage::StorageElementConfig se_template;
+  ldap::LdapServerConfig ldap_template;
+  location::LocationCostModel location_model;
+};
+
+/// The UDR network function.
+class UdrNf : public ldap::LdapBackend {
+ public:
+  UdrNf(UdrConfig config, sim::Network* network);
+  ~UdrNf() override;
+
+  const UdrConfig& config() const { return config_; }
+  sim::Network* network() const { return network_; }
+  MicroTime Now() const { return network_->Now(); }
+  Metrics& metrics() { return metrics_; }
+
+  // -- Deployment / scale-out (§3.4) -------------------------------------------
+
+  /// Deploys a new blade cluster at `site` with the configured number of SEs
+  /// and LDAP servers. For the provisioned location stage, scale-out incurs
+  /// the identity-map sync window of §3.4.2 during which the new PoA cannot
+  /// serve.
+  StatusOr<BladeCluster*> AddCluster(sim::SiteId site);
+
+  /// Creates replica sets for any storage element that does not yet host a
+  /// primary partition copy. Called lazily by CreateSubscriber; call
+  /// explicitly after initial deployment for deterministic layouts.
+  void CommissionPartitions();
+
+  size_t cluster_count() const { return clusters_.size(); }
+  BladeCluster* cluster(uint32_t id) { return clusters_[id].get(); }
+  /// Cluster whose PoA serves `site`, nullptr when none is deployed there.
+  BladeCluster* ClusterAtSite(sim::SiteId site);
+
+  size_t partition_count() const { return partitions_.size(); }
+  replication::ReplicaSet* partition(uint32_t id) { return partitions_[id].get(); }
+
+  int TotalStorageElements() const;
+  int64_t TotalLdapOpsPerSecond() const;
+  int64_t TotalSubscriberCapacity(int64_t avg_record_bytes) const;
+  int64_t SubscriberCount() const { return subscriber_count_; }
+
+  // -- Client entry point --------------------------------------------------------
+
+  /// Submits an LDAP request from a client at `client_site`: routes to the
+  /// nearest reachable PoA, through its balancer and a stateless LDAP
+  /// server, into the data path. The returned latency covers the whole
+  /// client-observed path.
+  ldap::LdapResult Submit(const ldap::LdapRequest& request,
+                          sim::SiteId client_site);
+
+  // -- ldap::LdapBackend ----------------------------------------------------------
+
+  /// Request semantics, entered at the PoA of `poa_site`.
+  ldap::LdapResult Process(const ldap::LdapRequest& request,
+                           uint32_t poa_site) override;
+
+  // -- Internal administration -----------------------------------------------------
+
+  /// Specification of a new subscription.
+  struct CreateSpec {
+    std::vector<location::Identity> identities;
+    storage::Record profile;
+    /// Selective placement: pin the primary copy to this site (§3.5).
+    std::optional<sim::SiteId> home_site;
+  };
+  struct CreateOutcome {
+    location::LocationEntry entry;
+    replication::WriteResult write;
+  };
+
+  /// Creates a subscription: places the record, writes the profile through
+  /// the replication layer and provisions the identity-location maps.
+  StatusOr<CreateOutcome> CreateSubscriber(const CreateSpec& spec,
+                                           sim::SiteId origin_site);
+
+  /// Removes a subscription and all its identity bindings.
+  Status DeleteSubscriber(const location::Identity& id, sim::SiteId origin_site);
+
+  /// Resolves an identity at the location stage local to `poa_site`
+  /// (§3.3.1 decision 1: resolution never leaves the PoA).
+  location::ResolveResult Locate(const location::Identity& id,
+                                 sim::SiteId poa_site);
+
+  /// Authoritative identity lookup (what a broadcast over all SEs returns).
+  StatusOr<location::LocationEntry> AuthoritativeLookup(
+      const location::Identity& id) const;
+
+  // -- Maintenance ------------------------------------------------------------------
+
+  /// Lets every slave copy apply all deliverable replication entries.
+  void CatchUpAllPartitions();
+
+  /// Runs the §5 consistency-restoration process on every partition,
+  /// aggregating the merge report.
+  replication::RestorationReport RestoreAllPartitions();
+
+ private:
+  struct SeRef {
+    storage::StorageElement* se = nullptr;
+    uint32_t cluster = 0;
+    int secondary_load = 0;   ///< Secondary copies hosted.
+    bool has_partition = false;
+  };
+
+  static bool IsIdentityAttr(const std::string& attr);
+  static std::optional<location::IdentityType> IdentityTypeForAttr(
+      const std::string& attr);
+
+  StatusOr<uint32_t> FindPoaCluster(sim::SiteId client_site) const;
+  StatusOr<uint32_t> PickPartitionForCreate(std::optional<sim::SiteId> home_site);
+  void BindEverywhere(const location::Identity& id,
+                      const location::LocationEntry& entry);
+  void UnbindEverywhere(const location::Identity& id);
+  std::vector<location::Identity> IdentitiesOfRecord(
+      const storage::Record& record) const;
+  std::unique_ptr<location::LocationStage> MakeLocationStage();
+
+  ldap::LdapResult DoSearch(const ldap::LdapRequest& request, uint32_t poa_site);
+  ldap::LdapResult DoAdd(const ldap::LdapRequest& request, uint32_t poa_site);
+  ldap::LdapResult DoModify(const ldap::LdapRequest& request, uint32_t poa_site);
+  ldap::LdapResult DoDelete(const ldap::LdapRequest& request, uint32_t poa_site);
+  ldap::LdapResult DoCompare(const ldap::LdapRequest& request, uint32_t poa_site);
+
+  /// Resolves the identity named by a request's DN (or filter) at the PoA.
+  StatusOr<location::Identity> RequestIdentity(
+      const ldap::LdapRequest& request) const;
+
+  replication::ReadPreference ReadPrefFor(const ldap::LdapRequest& request) const;
+
+  UdrConfig config_;
+  sim::Network* network_;
+  Metrics metrics_;
+
+  std::vector<std::unique_ptr<BladeCluster>> clusters_;
+  std::vector<std::unique_ptr<replication::ReplicaSet>> partitions_;
+  std::vector<SeRef> all_ses_;
+  std::vector<int64_t> partition_population_;
+
+  std::unordered_map<location::Identity, location::LocationEntry,
+                     location::IdentityHasher>
+      authoritative_;
+  storage::RecordKey next_key_ = 1;
+  int64_t subscriber_count_ = 0;
+};
+
+}  // namespace udr::udrnf
+
+#endif  // UDR_UDR_UDR_NF_H_

@@ -1,0 +1,36 @@
+#include "workload/testbed.h"
+
+#include <cassert>
+
+namespace udr::workload {
+
+Testbed::Testbed(TestbedOptions opts)
+    : opts_(opts), factory_(opts.seed) {
+  sim::Topology topology(opts_.sites, opts_.latency);
+  network_ = std::make_unique<sim::Network>(std::move(topology), &clock_);
+  udr_ = std::make_unique<udrnf::UdrNf>(opts_.udr, network_.get());
+  for (uint32_t s = 0; s < opts_.sites; ++s) {
+    auto cluster = udr_->AddCluster(s);
+    assert(cluster.ok());
+    (void)cluster;
+  }
+  udr_->CommissionPartitions();
+  if (opts_.subscribers > 0) {
+    ProvisionDirect(0, opts_.subscribers);
+  }
+}
+
+int64_t Testbed::ProvisionDirect(uint64_t first, int64_t count) {
+  int64_t created = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    uint64_t index = first + static_cast<uint64_t>(i);
+    std::optional<sim::SiteId> home;
+    if (opts_.pin_home_sites) home = HomeSiteOf(index);
+    auto spec = factory_.MakeSpec(index, home);
+    auto outcome = udr_->CreateSubscriber(spec, home.value_or(0));
+    if (outcome.ok()) ++created;
+  }
+  return created;
+}
+
+}  // namespace udr::workload

@@ -1,0 +1,106 @@
+#include "workload/traffic.h"
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace udr::workload {
+
+using telecom::HlrFe;
+using telecom::HssFe;
+using telecom::ProcedureResult;
+
+TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
+  TrafficReport report;
+  Rng rng(opts.seed);
+  sim::SimClock& clock = bed.clock();
+  const MicroTime horizon = clock.Now() + opts.duration;
+
+  // One FE pair per site.
+  std::vector<std::unique_ptr<HlrFe>> hlr_fes;
+  std::vector<std::unique_ptr<HssFe>> hss_fes;
+  for (uint32_t s = 0; s < bed.options().sites; ++s) {
+    hlr_fes.push_back(std::make_unique<HlrFe>(s, &bed.udr()));
+    hss_fes.push_back(std::make_unique<HssFe>(s, &bed.udr()));
+  }
+  telecom::ProvisioningSystem ps({opts.ps_site, 0}, &bed.udr(), &bed.factory());
+
+  const MicroDuration fe_gap =
+      opts.fe_rate_per_sec > 0
+          ? static_cast<MicroDuration>(1e6 / opts.fe_rate_per_sec)
+          : kTimeInfinity;
+  const MicroDuration ps_gap =
+      opts.ps_rate_per_sec > 0
+          ? static_cast<MicroDuration>(1e6 / opts.ps_rate_per_sec)
+          : kTimeInfinity;
+
+  MicroTime next_fe = clock.Now() + fe_gap;
+  MicroTime next_ps = clock.Now() + ps_gap;
+
+  while (true) {
+    MicroTime next = std::min(next_fe, next_ps);
+    if (next > horizon) break;
+    clock.AdvanceTo(next);
+
+    if (next == next_fe) {
+      next_fe += fe_gap;
+      uint64_t index = rng.Uniform(opts.subscriber_count);
+      telecom::Subscriber sub = bed.factory().Make(index);
+      sim::SiteId home = bed.HomeSiteOf(index);
+      sim::SiteId serving = home;
+      if (bed.options().sites > 1 && rng.Bernoulli(opts.roaming_fraction)) {
+        serving = static_cast<sim::SiteId>(
+            (home + 1 + rng.Uniform(bed.options().sites - 1)) %
+            bed.options().sites);
+      }
+      if (rng.Bernoulli(opts.ims_fraction)) {
+        HssFe& fe = *hss_fes[serving];
+        double pick = rng.NextDouble();
+        if (pick < 0.55) {
+          report.fe_read.Fold(fe.ImsLocate(sub.ImpuId()));
+        } else if (pick < 0.80) {
+          report.fe_write.Fold(
+              fe.ImsRegister(sub.ImpuId(), "scscf" + std::to_string(serving)));
+        } else {
+          report.fe_write.Fold(fe.ImsDeregister(sub.ImpuId()));
+        }
+      } else {
+        HlrFe& fe = *hlr_fes[serving];
+        double pick = rng.NextDouble();
+        if (pick < 0.35) {
+          report.fe_read.Fold(fe.Authenticate(sub.ImsiId()));
+        } else if (pick < 0.55) {
+          report.fe_read.Fold(fe.SendRoutingInfo(sub.MsisdnId()));
+        } else if (pick < 0.70) {
+          report.fe_read.Fold(fe.SmsRouting(sub.MsisdnId()));
+        } else if (pick < 0.80) {
+          report.fe_read.Fold(fe.InterrogateSs(sub.MsisdnId()));
+        } else {
+          report.fe_write.Fold(fe.UpdateLocation(
+              sub.ImsiId(), "vlr" + std::to_string(serving),
+              static_cast<int64_t>(serving * 100 + rng.Uniform(100))));
+        }
+      }
+    } else {
+      next_ps += ps_gap;
+      uint64_t index = rng.Uniform(opts.subscriber_count);
+      double pick = rng.NextDouble();
+      if (pick < 0.5) {
+        report.ps.Fold(
+            ps.SetCallForwarding(index, "+3460000" + std::to_string(index % 100)));
+      } else if (pick < 0.85) {
+        report.ps.Fold(ps.SetPremiumBarring(index, rng.Bernoulli(0.5)));
+      } else {
+        // New activation: walks out of the phone shop (§4.1).
+        uint64_t new_index = opts.subscriber_count + 1000000 +
+                             static_cast<uint64_t>(report.ps.attempted);
+        report.ps.Fold(ps.Provision(new_index));
+      }
+    }
+  }
+  clock.AdvanceTo(horizon);
+  return report;
+}
+
+}  // namespace udr::workload

@@ -1,0 +1,87 @@
+// Traffic-mix runner: drives a deterministic blend of front-end network
+// procedures and PS service-management operations against a Testbed while
+// the network experiences whatever partition/crash schedule the scenario
+// installed. Produces the per-class availability and latency statistics the
+// paper reasons about (FE traffic is mostly reads and survives partitions;
+// PS traffic is mostly writes and fails on the minority side — §4.1).
+
+#ifndef UDR_WORKLOAD_TRAFFIC_H_
+#define UDR_WORKLOAD_TRAFFIC_H_
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/time.h"
+#include "telecom/front_end.h"
+#include "telecom/provisioning.h"
+#include "workload/testbed.h"
+
+namespace udr::workload {
+
+/// Parameters of one traffic run.
+struct TrafficOptions {
+  MicroDuration duration = Seconds(60);
+  double fe_rate_per_sec = 200.0;   ///< FE network procedures per second.
+  double ps_rate_per_sec = 5.0;     ///< PS service-management ops per second.
+  double ims_fraction = 0.15;       ///< Share of FE procedures that are IMS.
+  double roaming_fraction = 0.05;   ///< FE procedures served away from home.
+  uint64_t subscriber_count = 1000; ///< Population to draw subscribers from.
+  uint64_t seed = 7;
+  sim::SiteId ps_site = 0;          ///< PS is co-located with this PoA.
+};
+
+/// Aggregated statistics for one traffic class.
+struct ClassStats {
+  int64_t attempted = 0;
+  int64_t ok = 0;
+  int64_t failed = 0;
+  int64_t ldap_ops = 0;
+  int64_t stale_procedures = 0;
+  Histogram latency;  ///< Procedure latency (µs), successful procedures only.
+
+  double availability() const {
+    return attempted == 0
+               ? 1.0
+               : static_cast<double>(ok) / static_cast<double>(attempted);
+  }
+  void Fold(const telecom::ProcedureResult& r) {
+    ++attempted;
+    ldap_ops += r.ldap_ops;
+    if (r.any_stale) ++stale_procedures;
+    if (r.ok()) {
+      ++ok;
+      latency.Record(r.latency);
+    } else {
+      ++failed;
+    }
+  }
+  void Merge(const ClassStats& o) {
+    attempted += o.attempted;
+    ok += o.ok;
+    failed += o.failed;
+    ldap_ops += o.ldap_ops;
+    stale_procedures += o.stale_procedures;
+    latency.Merge(o.latency);
+  }
+};
+
+/// Results of a traffic run, split by class.
+struct TrafficReport {
+  ClassStats fe_read;   ///< Read-only FE procedures.
+  ClassStats fe_write;  ///< FE procedures containing writes.
+  ClassStats ps;        ///< Provisioning-system operations.
+
+  ClassStats FeAll() const {
+    ClassStats all = fe_read;
+    all.Merge(fe_write);
+    return all;
+  }
+};
+
+/// Runs the mix against `bed` for `opts.duration`, advancing the testbed
+/// clock. Subscribers must already be provisioned ([0, subscriber_count)).
+TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts);
+
+}  // namespace udr::workload
+
+#endif  // UDR_WORKLOAD_TRAFFIC_H_

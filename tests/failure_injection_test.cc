@@ -1,0 +1,213 @@
+// Failure-injection tests across the full stack: drained LDAP farms,
+// storage capacity exhaustion, architectural limits, slow/flappy links and
+// cascaded failures. Complements the per-module suites with "what actually
+// happens when X dies" coverage.
+
+#include <gtest/gtest.h>
+
+#include "ldap/dn.h"
+#include "telecom/front_end.h"
+#include "telecom/provisioning.h"
+#include "udr/oam.h"
+#include "workload/testbed.h"
+
+namespace udr {
+namespace {
+
+using workload::Testbed;
+using workload::TestbedOptions;
+
+TestbedOptions SmallBed() {
+  TestbedOptions o;
+  o.sites = 3;
+  o.subscribers = 20;
+  o.pin_home_sites = true;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// LDAP farm failures
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjectionTest, DrainedLocalPoaFallsBackToRemotePoa) {
+  Testbed bed(SmallBed());
+  bed.clock().Advance(Seconds(1));
+  bed.udr().CatchUpAllPartitions();
+  // Kill every LDAP server at site 0.
+  auto* cluster = bed.udr().cluster(0);
+  for (size_t i = 0; i < cluster->ldap_count(); ++i) {
+    auto s = cluster->balancer().Pick();
+    ASSERT_TRUE(s.ok());
+    (*s)->set_healthy(false);
+  }
+  // A client at site 0 is still served: Submit routes to the nearest PoA,
+  // and when the local farm answers Unavailable the caller sees it -- the
+  // balancer rejects, but remote PoAs remain reachable for retries.
+  telecom::HlrFe fe(0, &bed.udr());
+  auto r = fe.Authenticate(bed.factory().Make(0).ImsiId());
+  // The local PoA is drained: the request through it fails...
+  EXPECT_FALSE(r.ok());
+  // ...but the FE can reach the site-1 PoA explicitly (stateless servers:
+  // any instance can serve any user, §2.2).
+  telecom::HlrFe remote_fe(1, &bed.udr());
+  auto r2 = remote_fe.Authenticate(bed.factory().Make(0).ImsiId());
+  EXPECT_TRUE(r2.ok());
+}
+
+TEST(FailureInjectionTest, SingleServerFailureInvisibleBehindBalancer) {
+  Testbed bed(SmallBed());
+  bed.clock().Advance(Seconds(1));
+  bed.udr().CatchUpAllPartitions();
+  auto* cluster = bed.udr().cluster(0);
+  auto first = cluster->balancer().Pick();
+  ASSERT_TRUE(first.ok());
+  (*first)->set_healthy(false);  // One of two servers dies.
+  telecom::HlrFe fe(0, &bed.udr());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(fe.Authenticate(bed.factory().Make(0).ImsiId()).ok()) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storage capacity exhaustion
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjectionTest, FullStorageElementRejectsProvisioning) {
+  TestbedOptions o;
+  o.sites = 1;
+  o.udr.se_per_cluster = 1;
+  o.udr.replication_factor = 1;
+  // Tiny SE: fits only a couple of profiles (~1.1 KB each).
+  o.udr.se_template.ram_budget_bytes = 4 * 1024;
+  Testbed bed(o);
+  telecom::ProvisioningSystem ps({0, 0}, &bed.udr(), &bed.factory());
+  int ok = 0, rejected = 0;
+  for (uint64_t i = 0; i < 10; ++i) {
+    auto r = ps.Provision(i);
+    if (r.ok()) ++ok;
+    else ++rejected;
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(rejected, 0);  // Budget hit: unwillingToPerform, not a crash.
+  EXPECT_EQ(bed.udr().SubscriberCount(), ok);
+}
+
+TEST(FailureInjectionTest, ClusterLimitEnforcedAt256) {
+  sim::SimClock clock;
+  auto network = std::make_unique<sim::Network>(sim::Topology(2), &clock);
+  udrnf::UdrConfig cfg;
+  cfg.se_per_cluster = 0;  // Keep it cheap: no SEs, just the limit check.
+  cfg.ldap_per_cluster = 0;
+  udrnf::UdrNf udr(cfg, network.get());
+  for (int i = 0; i < udrnf::kMaxClustersPerNf; ++i) {
+    ASSERT_TRUE(udr.AddCluster(i % 2 == 0 ? 0 : 1).ok()) << i;
+  }
+  EXPECT_TRUE(udr.AddCluster(0).status().IsResourceExhausted());
+}
+
+// ---------------------------------------------------------------------------
+// Cascades
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjectionTest, DoubleReplicaLossStillServesFromLastCopy) {
+  Testbed bed(SmallBed());
+  bed.clock().Advance(Seconds(1));
+  bed.udr().CatchUpAllPartitions();
+  auto loc = bed.udr().AuthoritativeLookup(bed.factory().Make(0).ImsiId());
+  ASSERT_TRUE(loc.ok());
+  auto* rs = bed.udr().partition(loc->partition);
+  ASSERT_EQ(rs->replica_count(), 3u);
+  // Two of three copies die (a real catastrophe).
+  rs->CrashReplica(rs->master_id());
+  rs->CrashReplica((rs->master_id() + 1) % 3);
+  bed.clock().Advance(Seconds(10));
+  // The last copy still serves reads and, after failover, writes.
+  telecom::HlrFe fe(0, &bed.udr());
+  auto read = fe.Authenticate(bed.factory().Make(0).ImsiId());
+  EXPECT_TRUE(read.ok());
+  telecom::ProvisioningSystem ps({0, 0}, &bed.udr(), &bed.factory());
+  auto write = ps.SetPremiumBarring(0, true);
+  EXPECT_TRUE(write.ok());
+  // The OSS sees the redundancy exhaustion.
+  udrnf::OamSystem oam(&bed.udr());
+  oam.Scan();
+  bool exhausted = false;
+  for (const auto& [key, alarm] : oam.active_alarms()) {
+    if (alarm.text.find("one copy left") != std::string::npos) {
+      exhausted = true;
+    }
+  }
+  EXPECT_TRUE(exhausted);
+}
+
+TEST(FailureInjectionTest, TotalPartitionLossIsCleanlyUnavailable) {
+  Testbed bed(SmallBed());
+  bed.clock().Advance(Seconds(1));
+  auto loc = bed.udr().AuthoritativeLookup(bed.factory().Make(0).ImsiId());
+  ASSERT_TRUE(loc.ok());
+  auto* rs = bed.udr().partition(loc->partition);
+  for (uint32_t r = 0; r < rs->replica_count(); ++r) rs->CrashReplica(r);
+  bed.clock().Advance(Seconds(10));
+  telecom::HlrFe fe(0, &bed.udr());
+  auto read = fe.Authenticate(bed.factory().Make(0).ImsiId());
+  EXPECT_FALSE(read.ok());
+  // Other subscribers (other partitions) are untouched: the paper's "when
+  // one node fails [only] the subscribers whose data are held in the
+  // failing node lose access".
+  int other_ok = 0;
+  for (uint64_t i = 1; i < 20; ++i) {
+    if (fe.Authenticate(bed.factory().Make(i).ImsiId()).ok()) ++other_ok;
+  }
+  EXPECT_GT(other_ok, 10);
+}
+
+TEST(FailureInjectionTest, FlappingLinkDeliversEverythingEventually) {
+  Testbed bed(SmallBed());
+  bed.clock().Advance(Seconds(1));
+  bed.udr().CatchUpAllPartitions();
+  // Flap the 0-1 link: 10 cycles of 1s down / 1s up.
+  MicroTime t0 = bed.clock().Now();
+  for (int i = 0; i < 10; ++i) {
+    bed.network().partitions().CutLink(0, 1, t0 + Seconds(2 * i),
+                                       t0 + Seconds(2 * i + 1));
+  }
+  telecom::ProvisioningSystem ps({0, 0}, &bed.udr(), &bed.factory());
+  int ok = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (ps.SetPremiumBarring(static_cast<uint64_t>(i % 20), i % 2 == 0).ok()) {
+      ++ok;
+    }
+    bed.clock().Advance(Millis(500));
+  }
+  EXPECT_GT(ok, 20);  // Writes to reachable masters keep landing.
+  // After the flapping ends, every replica converges.
+  bed.clock().AdvanceTo(t0 + Seconds(30));
+  bed.udr().CatchUpAllPartitions();
+  for (size_t p = 0; p < bed.udr().partition_count(); ++p) {
+    auto* rs = bed.udr().partition(static_cast<uint32_t>(p));
+    for (uint32_t r = 0; r < rs->replica_count(); ++r) {
+      EXPECT_EQ(rs->applied_seq(r), rs->log().LastSeq())
+          << "partition " << p << " replica " << r;
+    }
+  }
+}
+
+TEST(FailureInjectionTest, CrashDuringScaleOutSyncRecovers) {
+  Testbed bed(SmallBed());
+  bed.clock().Advance(Seconds(1));
+  auto cluster = bed.udr().AddCluster(2);
+  ASSERT_TRUE(cluster.ok());
+  // While the new stage is syncing, a partition hits: existing PoAs serve.
+  MicroTime t0 = bed.clock().Now();
+  bed.network().partitions().CutLink(0, 2, t0, t0 + Seconds(5));
+  telecom::HlrFe fe(1, &bed.udr());
+  EXPECT_TRUE(fe.Authenticate(bed.factory().Make(1).ImsiId()).ok());
+  // After sync + heal the new stage resolves too.
+  bed.clock().Advance(Seconds(10));
+  auto r = (*cluster)->location_stage()->Resolve(
+      bed.factory().Make(1).ImsiId(), bed.clock().Now());
+  EXPECT_TRUE(r.status.ok());
+}
+
+}  // namespace
+}  // namespace udr

@@ -1,0 +1,270 @@
+// End-to-end integration tests across all modules: the full UDR stack under
+// the paper's headline scenarios — partitions, failovers with data loss,
+// multi-master evolution with consistency restoration, durability modes,
+// selective placement, and UDC-vs-pre-UDC provisioning.
+
+#include <gtest/gtest.h>
+
+#include "telecom/front_end.h"
+#include "telecom/pre_udc.h"
+#include "telecom/provisioning.h"
+#include "workload/testbed.h"
+#include "workload/traffic.h"
+
+namespace udr {
+namespace {
+
+using telecom::HlrFe;
+using telecom::ProvisioningSystem;
+using telecom::Subscriber;
+using workload::Testbed;
+using workload::TestbedOptions;
+
+TestbedOptions BaseOptions() {
+  TestbedOptions o;
+  o.sites = 3;
+  o.subscribers = 60;
+  o.pin_home_sites = true;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: CAP default (PC) — §3.2 / §4.1
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, CpPartitionStory) {
+  Testbed bed(BaseOptions());
+  bed.clock().Advance(Seconds(1));
+  bed.udr().CatchUpAllPartitions();
+  Subscriber alice = bed.factory().Make(0);  // Home: site 0.
+
+  MicroTime t0 = bed.clock().Now();
+  bed.network().partitions().CutBetween({0}, {1, 2}, t0, t0 + Seconds(30));
+  bed.clock().Advance(Seconds(1));
+
+  // 1) FE at Alice's home side: everything works.
+  HlrFe home_fe(0, &bed.udr());
+  EXPECT_TRUE(home_fe.Authenticate(alice.ImsiId()).ok());
+  EXPECT_TRUE(home_fe.UpdateLocation(alice.ImsiId(), "vlr-0", 1).ok());
+
+  // 2) FE on the far side: reads from the local slave copy still work...
+  HlrFe far_fe(1, &bed.udr());
+  EXPECT_TRUE(far_fe.Authenticate(alice.ImsiId()).ok());
+  // ...but the write leg of a procedure fails (master unreachable).
+  EXPECT_FALSE(far_fe.UpdateLocation(alice.ImsiId(), "vlr-1", 2).ok());
+
+  // 3) PS on the far side: provisioning (pinned to site 0) fails entirely.
+  ProvisioningSystem far_ps({1, 0}, &bed.udr(), &bed.factory());
+  EXPECT_FALSE(far_ps.Provision(1000, /*home_site=*/0).ok());
+
+  // 4) After healing, the same provisioning succeeds.
+  bed.clock().AdvanceTo(t0 + Seconds(31));
+  EXPECT_TRUE(far_ps.Provision(1000, /*home_site=*/0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: SE failure, failover, async data loss — §3.3.1 / §4.2
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, MasterCrashLosesLastAsyncWrites) {
+  Testbed bed(BaseOptions());
+  bed.clock().Advance(Seconds(1));
+  Subscriber alice = bed.factory().Make(0);
+  auto loc = bed.udr().AuthoritativeLookup(alice.ImsiId());
+  ASSERT_TRUE(loc.ok());
+  replication::ReplicaSet* rs = bed.udr().partition(loc->partition);
+
+  // Everything replicated so far.
+  bed.clock().Advance(Seconds(1));
+  rs->CatchUpAll();
+
+  // A provisioning write lands on the master and is acked...
+  ProvisioningSystem ps({0, 0}, &bed.udr(), &bed.factory());
+  ASSERT_TRUE(ps.SetPremiumBarring(0, true).ok());
+
+  // ...and the master SE fails before the entry ships to any slave.
+  uint32_t old_master = rs->master_id();
+  rs->CrashReplica(old_master);
+  bed.clock().Advance(Seconds(10));
+
+  HlrFe fe(0, &bed.udr());
+  auto after = fe.SendRoutingInfo(alice.MsisdnId());
+  ASSERT_TRUE(after.ok());  // Reads keep working off the surviving slaves.
+
+  // The next master-path access triggers the failover...
+  ldap::LdapRequest req;
+  req.op = ldap::LdapOp::kSearch;
+  req.dn = ldap::SubscriberDn("imsi", alice.imsi);
+  req.master_only = true;
+  auto r = bed.udr().Submit(req, 0);
+  ASSERT_EQ(r.code, ldap::LdapResultCode::kSuccess);
+  EXPECT_NE(rs->master_id(), old_master);
+  ASSERT_EQ(r.entries.size(), 1u);
+  // ...and the acknowledged barring write is gone (durability gap).
+  EXPECT_EQ(storage::ValueToString(
+                *r.entries[0].record.Get(telecom::attr::kOdbPremium)),
+            "false");
+}
+
+TEST(IntegrationTest, DualSequenceSurvivesTheSameCrash) {
+  TestbedOptions o = BaseOptions();
+  o.udr.sync_mode = replication::SyncMode::kDualSequence;
+  Testbed bed(o);
+  bed.clock().Advance(Seconds(1));
+  Subscriber alice = bed.factory().Make(0);
+  auto loc = bed.udr().AuthoritativeLookup(alice.ImsiId());
+  ASSERT_TRUE(loc.ok());
+  replication::ReplicaSet* rs = bed.udr().partition(loc->partition);
+  rs->CatchUpAll();
+
+  ProvisioningSystem ps({0, 0}, &bed.udr(), &bed.factory());
+  ASSERT_TRUE(ps.SetPremiumBarring(0, true).ok());
+  rs->CrashReplica(rs->master_id());
+  bed.clock().Advance(Seconds(10));
+
+  ldap::LdapRequest req;
+  req.op = ldap::LdapOp::kSearch;
+  req.dn = ldap::SubscriberDn("imsi", alice.imsi);
+  req.master_only = true;
+  auto r = bed.udr().Submit(req, 0);
+  ASSERT_EQ(r.code, ldap::LdapResultCode::kSuccess);
+  ASSERT_EQ(r.entries.size(), 1u);
+  // The dual-in-sequence commit reached a slave before acking: no loss.
+  EXPECT_EQ(storage::ValueToString(
+                *r.entries[0].record.Get(telecom::attr::kOdbPremium)),
+            "true");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: §5 evolution — multi-master + consistency restoration
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, ApModeKeepsProvisioningAliveAndRestores) {
+  TestbedOptions o = BaseOptions();
+  o.udr.partition_mode = replication::PartitionMode::kPreferAvailability;
+  Testbed bed(o);
+  bed.clock().Advance(Seconds(1));
+  bed.udr().CatchUpAllPartitions();
+
+  MicroTime t0 = bed.clock().Now();
+  bed.network().partitions().CutBetween({0}, {1, 2}, t0, t0 + Seconds(30));
+  bed.clock().Advance(Seconds(1));
+
+  // PS on the minority side can now write (divergently).
+  ProvisioningSystem far_ps({1, 0}, &bed.udr(), &bed.factory());
+  auto w = far_ps.SetPremiumBarring(0, true);  // Alice's master is at site 0.
+  EXPECT_TRUE(w.ok());
+
+  // Conflicting write on the majority side.
+  ProvisioningSystem home_ps({0, 0}, &bed.udr(), &bed.factory());
+  bed.clock().Advance(Seconds(1));
+  EXPECT_TRUE(home_ps.SetCallForwarding(0, "+34911234567").ok());
+
+  // Heal; restoration merges the divergent writes.
+  bed.clock().AdvanceTo(t0 + Seconds(40));
+  auto report = bed.udr().RestoreAllPartitions();
+  EXPECT_GE(report.divergent_entries, 1);
+  EXPECT_GE(report.applied_ops, 1);
+
+  // Alice's profile now carries both updates.
+  ldap::LdapRequest req;
+  req.op = ldap::LdapOp::kSearch;
+  req.dn = ldap::SubscriberDn("imsi", bed.factory().Make(0).imsi);
+  req.master_only = true;
+  auto r = bed.udr().Submit(req, 0);
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(storage::ValueToString(
+                *r.entries[0].record.Get(telecom::attr::kOdbPremium)),
+            "true");
+  EXPECT_EQ(storage::ValueToString(
+                *r.entries[0].record.Get(telecom::attr::kCallForwardingUncond)),
+            "+34911234567");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: selective placement (§3.5)
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, SelectivePlacementKeepsHomeTrafficLocal) {
+  Testbed bed(BaseOptions());
+  bed.clock().Advance(Seconds(1));
+  bed.udr().CatchUpAllPartitions();
+  // Subscriber 1 is pinned to site 1.
+  Subscriber bob = bed.factory().Make(1);
+  HlrFe home_fe(1, &bed.udr());
+  HlrFe roam_fe(2, &bed.udr());
+  auto home_write = home_fe.UpdateLocation(bob.ImsiId(), "vlr-h", 1);
+  auto roam_write = roam_fe.UpdateLocation(bob.ImsiId(), "vlr-r", 2);
+  ASSERT_TRUE(home_write.ok());
+  ASSERT_TRUE(roam_write.ok());
+  // Home-region write stays on the LAN; roaming pays the backbone.
+  EXPECT_LT(home_write.latency, Millis(5));
+  EXPECT_GT(roam_write.latency, Millis(25));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: UDC vs pre-UDC provisioning (Figures 3/4)
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, UdcProvisioningAtomicWherePreUdcIsPartial) {
+  // Shared network conditions: site 2 unreachable.
+  sim::SimClock clock;
+  sim::LatencyConfig lc;
+  auto network = std::make_unique<sim::Network>(sim::Topology(3, lc), &clock);
+  network->partitions().IsolateSite(2, 3, 0, Seconds(100));
+
+  telecom::SubscriberFactory factory(42);
+
+  // Pre-UDC: partial state, manual repair required.
+  telecom::PreUdcConfig pre_cfg;
+  telecom::PreUdcNetwork pre(pre_cfg, network.get());
+  auto pre_out = pre.Provision(factory.Make(0), /*ps_site=*/0);
+  EXPECT_TRUE(pre_out.partial);
+  EXPECT_FALSE(pre.GloballyConsistent());
+
+  // UDC: same conditions, the single transaction either lands or fails
+  // atomically — never half-applied. (Master for the pinned subscriber is
+  // at site 0; the PoA and master are reachable, so it lands.)
+  TestbedOptions o;
+  o.sites = 3;
+  Testbed bed(o);
+  bed.network().partitions().IsolateSite(2, 3, 0, Seconds(100));
+  ProvisioningSystem ps({0, 0}, &bed.udr(), &bed.factory());
+  auto udc_out = ps.Provision(0, /*home_site=*/0);
+  EXPECT_TRUE(udc_out.ok());
+  // And a provisioning that CANNOT reach its master fails with no residue.
+  auto failed = ps.Provision(1, /*home_site=*/2);
+  if (!failed.ok()) {
+    EXPECT_TRUE(bed.udr()
+                    .AuthoritativeLookup(bed.factory().Make(1).ImsiId())
+                    .status()
+                    .IsNotFound());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: five-nines accounting over a year-with-one-glitch (§2.5)
+// ---------------------------------------------------------------------------
+
+TEST(IntegrationTest, AvailabilityAccountingAcrossGlitch) {
+  TestbedOptions o = BaseOptions();
+  o.subscribers = 90;
+  Testbed bed(o);
+  MicroTime t0 = bed.clock().Now();
+  // 60s run with a 2s glitch: FE availability should stay >= 99%, i.e. the
+  // glitch shows up in PS numbers first (the paper's asymmetry).
+  bed.network().partitions().CutBetween({0}, {1, 2}, t0 + Seconds(20),
+                                        t0 + Seconds(22));
+  workload::TrafficOptions t;
+  t.duration = Seconds(60);
+  t.fe_rate_per_sec = 100;
+  t.ps_rate_per_sec = 10;
+  t.subscriber_count = 90;
+  auto rep = workload::RunTraffic(bed, t);
+  EXPECT_GT(rep.fe_read.availability(), 0.99);
+  EXPECT_LT(rep.ps.availability(), rep.fe_read.availability());
+  EXPECT_GT(rep.ps.availability(), 0.90);  // Only the glitch window failed.
+}
+
+}  // namespace
+}  // namespace udr

@@ -1,0 +1,199 @@
+// Tests for the OSS/OaM view (§2.4): inventory, alarms and the footnote-4
+// availability KPI, plus failure-injection paths across the NF.
+
+#include <gtest/gtest.h>
+
+#include "replication/write_builder.h"
+#include "telecom/subscriber.h"
+#include "udr/oam.h"
+#include "workload/testbed.h"
+
+namespace udr::udrnf {
+namespace {
+
+using workload::Testbed;
+using workload::TestbedOptions;
+
+class OamTest : public ::testing::Test {
+ protected:
+  OamTest() : bed_(Options()), oam_(&bed_.udr()) {
+    bed_.clock().Advance(Seconds(1));
+    bed_.udr().CatchUpAllPartitions();
+  }
+  static TestbedOptions Options() {
+    TestbedOptions o;
+    o.sites = 3;
+    o.subscribers = 30;
+    o.pin_home_sites = true;
+    return o;
+  }
+  std::vector<location::Identity> AllImsis() {
+    std::vector<location::Identity> out;
+    for (uint64_t i = 0; i < 30; ++i) {
+      out.push_back(bed_.factory().Make(i).ImsiId());
+    }
+    return out;
+  }
+  Testbed bed_;
+  OamSystem oam_;
+};
+
+TEST_F(OamTest, InventoryMatchesDeployment) {
+  Inventory inv = oam_.GetInventory();
+  EXPECT_EQ(inv.clusters, 3);
+  EXPECT_EQ(inv.storage_elements, 6);
+  EXPECT_EQ(inv.ldap_servers, 6);
+  EXPECT_EQ(inv.partitions, 6);
+  EXPECT_EQ(inv.subscribers, 30);
+}
+
+TEST_F(OamTest, HealthyNetworkRaisesNoAlarms) {
+  EXPECT_EQ(oam_.Scan(), 0);
+  EXPECT_TRUE(oam_.active_alarms().empty());
+}
+
+TEST_F(OamTest, ReplicaCrashRaisesMajorAlarm) {
+  bed_.udr().partition(0)->CrashReplica(1);  // A slave copy.
+  EXPECT_GE(oam_.Scan(), 1);
+  bool found = false;
+  for (const auto& [key, alarm] : oam_.active_alarms()) {
+    if (alarm.source == "partition-0" &&
+        alarm.severity == AlarmSeverity::kMajor) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(OamTest, MasterCrashRaisesCriticalAlarm) {
+  auto* rs = bed_.udr().partition(0);
+  rs->CrashReplica(rs->master_id());
+  oam_.Scan();
+  bool critical = false;
+  for (const auto& [key, alarm] : oam_.active_alarms()) {
+    if (alarm.severity == AlarmSeverity::kCritical) critical = true;
+  }
+  EXPECT_TRUE(critical);
+}
+
+TEST_F(OamTest, PartitionRaisesLinkAlarmAndClears) {
+  MicroTime t0 = bed_.clock().Now();
+  bed_.network().partitions().CutLink(0, 1, t0, t0 + Seconds(10));
+  EXPECT_GE(oam_.Scan(), 1);
+  EXPECT_FALSE(oam_.active_alarms().empty());
+  // After healing, the condition clears but history remains.
+  bed_.clock().Advance(Seconds(11));
+  oam_.Scan();
+  EXPECT_TRUE(oam_.active_alarms().empty());
+  EXPECT_FALSE(oam_.alarm_history().empty());
+}
+
+TEST_F(OamTest, RepeatedScanDoesNotDuplicateAlarms) {
+  bed_.udr().partition(0)->CrashReplica(1);
+  int first = oam_.Scan();
+  int second = oam_.Scan();
+  EXPECT_GE(first, 1);
+  EXPECT_EQ(second, 0);  // Same condition, no new alarm.
+  EXPECT_EQ(oam_.alarm_history().size(), static_cast<size_t>(first));
+}
+
+TEST_F(OamTest, DivergenceRaisesAlarmUntilRestored) {
+  TestbedOptions o = Options();
+  o.udr.partition_mode = replication::PartitionMode::kPreferAvailability;
+  Testbed bed(o);
+  OamSystem oam(&bed.udr());
+  bed.clock().Advance(Seconds(1));
+  bed.udr().CatchUpAllPartitions();
+  MicroTime t0 = bed.clock().Now();
+  bed.network().partitions().CutBetween({0}, {1, 2}, t0, t0 + Seconds(10));
+  bed.clock().Advance(Seconds(1));
+  // Divergent write from the minority side (subscriber 0's master = site 0).
+  auto loc = bed.udr().AuthoritativeLookup(bed.factory().Make(0).ImsiId());
+  ASSERT_TRUE(loc.ok());
+  replication::WriteBuilder wb;
+  wb.Set(loc->key, "cfu-number", std::string("+34999"));
+  auto w = bed.udr().partition(loc->partition)->Write(1, std::move(wb).Build());
+  ASSERT_TRUE(w.diverged);
+  oam.Scan();
+  bool diverged_alarm = false;
+  for (const auto& [key, alarm] : oam.active_alarms()) {
+    if (alarm.text.find("divergent") != std::string::npos) {
+      diverged_alarm = true;
+    }
+  }
+  EXPECT_TRUE(diverged_alarm);
+  // Heal + restore clears it.
+  bed.clock().AdvanceTo(t0 + Seconds(20));
+  bed.udr().RestoreAllPartitions();
+  oam.Scan();
+  for (const auto& [key, alarm] : oam.active_alarms()) {
+    EXPECT_EQ(alarm.text.find("divergent"), std::string::npos);
+  }
+}
+
+TEST_F(OamTest, DrainedPoaRaisesCritical) {
+  auto* cluster = bed_.udr().cluster(0);
+  // Take every LDAP server at cluster 0 out of rotation.
+  for (size_t i = 0; i < cluster->ldap_count(); ++i) {
+    // Access through the balancer pick cycle.
+    auto s = cluster->balancer().Pick();
+    ASSERT_TRUE(s.ok());
+    (*s)->set_healthy(false);
+  }
+  oam_.Scan();
+  bool drained = false;
+  for (const auto& [key, alarm] : oam_.active_alarms()) {
+    if (alarm.text.find("PoA drained") != std::string::npos) drained = true;
+  }
+  EXPECT_TRUE(drained);
+}
+
+TEST_F(OamTest, ScaleOutSyncRaisesWarning) {
+  (void)bed_.udr().AddCluster(2);
+  oam_.Scan();
+  bool syncing = false;
+  for (const auto& [key, alarm] : oam_.active_alarms()) {
+    if (alarm.text.find("syncing") != std::string::npos) {
+      syncing = true;
+      EXPECT_EQ(alarm.severity, AlarmSeverity::kWarning);
+    }
+  }
+  EXPECT_TRUE(syncing);
+}
+
+// ---------------------------------------------------------------------------
+// Footnote-4 availability KPI
+// ---------------------------------------------------------------------------
+
+TEST_F(OamTest, KpiFullWhenHealthy) {
+  auto kpi = oam_.SampleAvailability(AllImsis(), {0, 1, 2});
+  EXPECT_EQ(kpi.subscribers_sampled, 30);
+  EXPECT_EQ(kpi.reachable, 30);
+  EXPECT_TRUE(kpi.MeetsFiveNines());
+}
+
+TEST_F(OamTest, KpiIsPerSubscriberAverage) {
+  // Take down every replica of one subscriber's partition: that subscriber
+  // is dark, the other 29 are fine => availability 29/30 (the footnote-4
+  // averaging, far below five nines for this tiny base).
+  auto loc = bed_.udr().AuthoritativeLookup(bed_.factory().Make(0).ImsiId());
+  ASSERT_TRUE(loc.ok());
+  auto* rs = bed_.udr().partition(loc->partition);
+  for (uint32_t r = 0; r < rs->replica_count(); ++r) rs->CrashReplica(r);
+  auto kpi = oam_.SampleAvailability(AllImsis(), {0, 1, 2});
+  EXPECT_LT(kpi.reachable, 30);
+  EXPECT_GT(kpi.reachable, 20);
+  EXPECT_FALSE(kpi.MeetsFiveNines());
+}
+
+TEST_F(OamTest, KpiSurvivesBackbonePartitionViaLocalReplicas) {
+  MicroTime t0 = bed_.clock().Now();
+  bed_.network().partitions().CutBetween({0}, {1, 2}, t0, t0 + Seconds(60));
+  bed_.clock().Advance(Seconds(1));
+  // Reads fall back to whatever replica is locally reachable: still 100%.
+  auto kpi = oam_.SampleAvailability(AllImsis(), {0, 1, 2});
+  EXPECT_EQ(kpi.reachable, 30);
+}
+
+}  // namespace
+}  // namespace udr::udrnf

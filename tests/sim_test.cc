@@ -1,0 +1,311 @@
+// Unit tests for src/sim: clock, topology latency model, interval sets,
+// partition/crash schedules, network facade, deterministic scheduler.
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/network.h"
+#include "sim/partition_schedule.h"
+#include "sim/scheduler.h"
+#include "sim/topology.h"
+
+namespace udr::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SimClock
+// ---------------------------------------------------------------------------
+
+TEST(SimClockTest, StartsAtZeroAndAdvances) {
+  SimClock c;
+  EXPECT_EQ(c.Now(), 0);
+  c.Advance(Millis(5));
+  EXPECT_EQ(c.Now(), Millis(5));
+  c.AdvanceTo(Seconds(1));
+  EXPECT_EQ(c.Now(), Seconds(1));
+}
+
+TEST(SimClockTest, ResetReturnsToZero) {
+  SimClock c;
+  c.Advance(100);
+  c.Reset();
+  EXPECT_EQ(c.Now(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+TEST(TopologyTest, LanVsBackboneLatency) {
+  LatencyConfig cfg;
+  cfg.lan_one_way = Micros(100);
+  cfg.backbone_one_way = Millis(20);
+  Topology t(3, cfg);
+  EXPECT_EQ(t.OneWayLatency(0, 0), Micros(100));
+  EXPECT_EQ(t.OneWayLatency(0, 1), Millis(20));
+  EXPECT_EQ(t.Rtt(0, 2), Millis(40));
+}
+
+TEST(TopologyTest, LinkOverrideSymmetric) {
+  Topology t(3);
+  t.SetLinkLatency(0, 2, Millis(50));
+  EXPECT_EQ(t.OneWayLatency(0, 2), Millis(50));
+  EXPECT_EQ(t.OneWayLatency(2, 0), Millis(50));
+  EXPECT_EQ(t.OneWayLatency(0, 1), LatencyConfig().backbone_one_way);
+}
+
+TEST(TopologyTest, SiteNames) {
+  Topology t(2);
+  EXPECT_EQ(t.SiteName(0), "site-0");
+  t.SetSiteName(0, "madrid");
+  EXPECT_EQ(t.SiteName(0), "madrid");
+}
+
+// ---------------------------------------------------------------------------
+// IntervalSet
+// ---------------------------------------------------------------------------
+
+TEST(IntervalSetTest, EmptyCoversNothing) {
+  IntervalSet s;
+  EXPECT_FALSE(s.Covers(0));
+  EXPECT_EQ(s.NextClear(5), 5);
+  EXPECT_EQ(s.OutageWithin(0, 100), 0);
+}
+
+TEST(IntervalSetTest, SingleInterval) {
+  IntervalSet s;
+  s.Add(10, 20);
+  EXPECT_FALSE(s.Covers(9));
+  EXPECT_TRUE(s.Covers(10));
+  EXPECT_TRUE(s.Covers(19));
+  EXPECT_FALSE(s.Covers(20));
+  EXPECT_EQ(s.NextClear(15), 20);
+  EXPECT_EQ(s.NextClear(5), 5);
+}
+
+TEST(IntervalSetTest, MergesOverlappingAndAdjacent) {
+  IntervalSet s;
+  s.Add(10, 20);
+  s.Add(15, 30);
+  EXPECT_EQ(s.intervals().size(), 1u);
+  s.Add(30, 40);  // Adjacent: coalesced into one outage.
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_TRUE(s.Covers(25));
+  EXPECT_TRUE(s.Covers(35));
+  s.Add(50, 60);  // Disjoint: second interval.
+  EXPECT_EQ(s.intervals().size(), 2u);
+  s.Add(5, 70);
+  EXPECT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0].begin, 5);
+  EXPECT_EQ(s.intervals()[0].end, 70);
+}
+
+TEST(IntervalSetTest, KeepsDisjointSorted) {
+  IntervalSet s;
+  s.Add(100, 200);
+  s.Add(10, 20);
+  ASSERT_EQ(s.intervals().size(), 2u);
+  EXPECT_EQ(s.intervals()[0].begin, 10);
+  EXPECT_EQ(s.intervals()[1].begin, 100);
+}
+
+TEST(IntervalSetTest, IgnoresEmptyInterval) {
+  IntervalSet s;
+  s.Add(10, 10);
+  s.Add(20, 15);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSetTest, OutageWithinClips) {
+  IntervalSet s;
+  s.Add(10, 30);
+  EXPECT_EQ(s.OutageWithin(0, 100), 20);
+  EXPECT_EQ(s.OutageWithin(20, 100), 10);
+  EXPECT_EQ(s.OutageWithin(15, 25), 10);
+  EXPECT_EQ(s.OutageWithin(40, 50), 0);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionSchedule
+// ---------------------------------------------------------------------------
+
+TEST(PartitionScheduleTest, ReachableByDefault) {
+  PartitionSchedule p;
+  EXPECT_TRUE(p.Reachable(0, 1, 0));
+  EXPECT_FALSE(p.HasAnyPartition());
+}
+
+TEST(PartitionScheduleTest, CutLinkIsSymmetricAndTimed) {
+  PartitionSchedule p;
+  p.CutLink(0, 1, Seconds(10), Seconds(40));
+  EXPECT_TRUE(p.Reachable(0, 1, Seconds(9)));
+  EXPECT_FALSE(p.Reachable(0, 1, Seconds(10)));
+  EXPECT_FALSE(p.Reachable(1, 0, Seconds(39)));
+  EXPECT_TRUE(p.Reachable(0, 1, Seconds(40)));
+}
+
+TEST(PartitionScheduleTest, SameSiteNeverPartitioned) {
+  PartitionSchedule p;
+  p.CutLink(0, 0, 0, kTimeInfinity);
+  EXPECT_TRUE(p.Reachable(0, 0, Seconds(5)));
+}
+
+TEST(PartitionScheduleTest, CutBetweenGroups) {
+  PartitionSchedule p;
+  p.CutBetween({0, 1}, {2, 3}, 100, 200);
+  EXPECT_FALSE(p.Reachable(0, 2, 150));
+  EXPECT_FALSE(p.Reachable(1, 3, 150));
+  EXPECT_TRUE(p.Reachable(0, 1, 150));  // Same side unaffected.
+  EXPECT_TRUE(p.Reachable(2, 3, 150));
+}
+
+TEST(PartitionScheduleTest, IsolateSite) {
+  PartitionSchedule p;
+  p.IsolateSite(1, 4, 10, 20);
+  EXPECT_FALSE(p.Reachable(1, 0, 15));
+  EXPECT_FALSE(p.Reachable(3, 1, 15));
+  EXPECT_TRUE(p.Reachable(0, 2, 15));
+}
+
+TEST(PartitionScheduleTest, HealTime) {
+  PartitionSchedule p;
+  p.CutLink(0, 1, 100, 200);
+  EXPECT_EQ(p.HealTime(0, 1, 50), 50);
+  EXPECT_EQ(p.HealTime(0, 1, 150), 200);
+  EXPECT_EQ(p.HealTime(0, 1, 250), 250);
+}
+
+TEST(PartitionScheduleTest, StreamDeliveryDeferredAcrossOutage) {
+  PartitionSchedule p;
+  p.CutLink(0, 1, Seconds(10), Seconds(40));
+  // Sent before the cut: normal latency.
+  EXPECT_EQ(p.DeliveryTime(0, 1, Seconds(5), Millis(15)),
+            Seconds(5) + Millis(15));
+  // Sent during the cut: waits for heal, then takes the latency.
+  EXPECT_EQ(p.DeliveryTime(0, 1, Seconds(20), Millis(15)),
+            Seconds(40) + Millis(15));
+}
+
+TEST(PartitionScheduleTest, OutageWithinPerLink) {
+  PartitionSchedule p;
+  p.CutLink(0, 1, 100, 300);
+  EXPECT_EQ(p.OutageWithin(0, 1, 0, 1000), 200);
+  EXPECT_EQ(p.OutageWithin(0, 2, 0, 1000), 0);
+}
+
+// ---------------------------------------------------------------------------
+// CrashSchedule
+// ---------------------------------------------------------------------------
+
+TEST(CrashScheduleTest, UpByDefault) {
+  CrashSchedule c;
+  EXPECT_TRUE(c.IsUp("se-0", 123));
+}
+
+TEST(CrashScheduleTest, OutageWindow) {
+  CrashSchedule c;
+  c.AddOutage("se-0", Seconds(10), Seconds(20));
+  EXPECT_TRUE(c.IsUp("se-0", Seconds(9)));
+  EXPECT_FALSE(c.IsUp("se-0", Seconds(15)));
+  EXPECT_TRUE(c.IsUp("se-0", Seconds(20)));
+  EXPECT_EQ(c.RecoveryTime("se-0", Seconds(15)), Seconds(20));
+}
+
+TEST(CrashScheduleTest, FailForever) {
+  CrashSchedule c;
+  c.FailForever("se-1", Seconds(5));
+  EXPECT_FALSE(c.IsUp("se-1", Hours(10)));
+  EXPECT_EQ(c.RecoveryTime("se-1", Seconds(6)), kTimeInfinity);
+}
+
+// ---------------------------------------------------------------------------
+// Network facade
+// ---------------------------------------------------------------------------
+
+TEST(NetworkTest, RpcCheckLatencyAndPartition) {
+  SimClock clock;
+  LatencyConfig lc;
+  lc.lan_one_way = Micros(100);
+  lc.backbone_one_way = Millis(10);
+  lc.hop_overhead = Micros(50);
+  Network net(Topology(2, lc), &clock);
+
+  RpcCheck local = net.CheckRpc(0, 0);
+  EXPECT_TRUE(local.status.ok());
+  EXPECT_EQ(local.latency, Micros(250));  // 2x100 + 50.
+
+  RpcCheck remote = net.CheckRpc(0, 1);
+  EXPECT_TRUE(remote.status.ok());
+  EXPECT_EQ(remote.latency, Millis(20) + Micros(50));
+
+  net.partitions().CutLink(0, 1, 0, Seconds(10));
+  RpcCheck cut = net.CheckRpc(0, 1);
+  EXPECT_TRUE(cut.status.IsUnavailable());
+  EXPECT_EQ(cut.latency, net.rpc_timeout());
+
+  clock.AdvanceTo(Seconds(10));
+  EXPECT_TRUE(net.CheckRpc(0, 1).status.ok());
+}
+
+TEST(NetworkTest, StreamDeliveryUsesClockIndependentSchedule) {
+  SimClock clock;
+  Network net(Topology(2), &clock);
+  net.partitions().CutLink(0, 1, Seconds(1), Seconds(2));
+  MicroTime d = net.StreamDeliveryTime(0, 1, Seconds(1) + 1);
+  EXPECT_EQ(d, Seconds(2) + LatencyConfig().backbone_one_way);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  SimClock clock;
+  Scheduler sched(&clock);
+  std::vector<int> order;
+  sched.At(30, [&] { order.push_back(3); });
+  sched.At(10, [&] { order.push_back(1); });
+  sched.At(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sched.RunUntil(), 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.Now(), 30);
+}
+
+TEST(SchedulerTest, EqualTimesRunInInsertionOrder) {
+  SimClock clock;
+  Scheduler sched(&clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.At(100, [&order, i] { order.push_back(i); });
+  }
+  sched.RunUntil();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, HorizonStopsExecution) {
+  SimClock clock;
+  Scheduler sched(&clock);
+  int ran = 0;
+  sched.At(10, [&] { ++ran; });
+  sched.At(100, [&] { ++ran; });
+  EXPECT_EQ(sched.RunUntil(50), 1);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(clock.Now(), 50);  // Advanced to horizon.
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(SchedulerTest, EventsCanScheduleEvents) {
+  SimClock clock;
+  Scheduler sched(&clock);
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) sched.After(10, step);
+  };
+  sched.After(10, step);
+  sched.RunUntil();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(clock.Now(), 50);
+}
+
+}  // namespace
+}  // namespace udr::sim

@@ -1,0 +1,477 @@
+// Unit tests for src/storage: records, the store, the commit log,
+// transactions (isolation anomalies included) and the storage element's
+// durability/capacity model.
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "storage/commit_log.h"
+#include "storage/record.h"
+#include "storage/record_store.h"
+#include "storage/storage_element.h"
+#include "storage/transaction.h"
+
+namespace udr::storage {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Record / Value
+// ---------------------------------------------------------------------------
+
+TEST(ValueTest, ToStringRendersAllAlternatives) {
+  EXPECT_EQ(ValueToString(Value(int64_t{42})), "42");
+  EXPECT_EQ(ValueToString(Value(true)), "true");
+  EXPECT_EQ(ValueToString(Value(std::string("x"))), "x");
+  EXPECT_EQ(ValueToString(Value(std::vector<std::string>{"a", "b"})), "[a, b]");
+}
+
+TEST(ValueTest, BytesScaleWithContent) {
+  EXPECT_EQ(ValueBytes(Value(int64_t{1})), 8);
+  EXPECT_GT(ValueBytes(Value(std::string(100, 'x'))), 100);
+  EXPECT_GT(ValueBytes(Value(std::vector<std::string>{"aaa", "bbb"})),
+            ValueBytes(Value(std::vector<std::string>{"a"})));
+}
+
+TEST(RecordTest, SetGetRemove) {
+  Record r;
+  r.Set("msisdn", std::string("+34600"), 100, 1);
+  EXPECT_TRUE(r.Has("msisdn"));
+  auto v = r.Get("msisdn");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(ValueToString(*v), "+34600");
+  const Attribute* a = r.Find("msisdn");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->modified_at, 100);
+  EXPECT_EQ(a->writer, 1u);
+  EXPECT_TRUE(r.Remove("msisdn"));
+  EXPECT_FALSE(r.Has("msisdn"));
+  EXPECT_FALSE(r.Remove("msisdn"));
+}
+
+TEST(RecordTest, LastModifiedIsMaxOverAttributes) {
+  Record r;
+  r.Set("a", int64_t{1}, 100, 0);
+  r.Set("b", int64_t{2}, 300, 0);
+  r.Set("c", int64_t{3}, 200, 0);
+  EXPECT_EQ(r.LastModified(), 300);
+}
+
+TEST(RecordTest, ApproxBytesGrowsWithAttributes) {
+  Record r;
+  int64_t empty = r.ApproxBytes();
+  r.Set("authkey", std::string(32, 'f'), 0, 0);
+  EXPECT_GT(r.ApproxBytes(), empty + 32);
+}
+
+TEST(RecordTest, ContentEqualityIgnoresVersion) {
+  Record a, b;
+  a.Set("x", int64_t{1}, 5, 0);
+  b.Set("x", int64_t{1}, 5, 0);
+  b.set_version(99);
+  EXPECT_TRUE(a == b);
+}
+
+// ---------------------------------------------------------------------------
+// RecordStore
+// ---------------------------------------------------------------------------
+
+TEST(RecordStoreTest, SetAttributeCreatesRecord) {
+  RecordStore s;
+  EXPECT_FALSE(s.Contains(7));
+  s.SetAttribute(7, "imsi", std::string("214"), 10, 0);
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_EQ(s.Count(), 1);
+  const Record* r = s.Find(7);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->version(), 1u);
+}
+
+TEST(RecordStoreTest, VersionBumpsOnEveryWrite) {
+  RecordStore s;
+  s.SetAttribute(1, "a", int64_t{1}, 0, 0);
+  s.SetAttribute(1, "a", int64_t{2}, 1, 0);
+  s.RemoveAttribute(1, "a");
+  EXPECT_EQ(s.Find(1)->version(), 3u);
+}
+
+TEST(RecordStoreTest, ByteAccountingTracksMutations) {
+  RecordStore s;
+  EXPECT_EQ(s.ApproxBytes(), 0);
+  s.SetAttribute(1, "blob", std::string(1000, 'x'), 0, 0);
+  int64_t with = s.ApproxBytes();
+  EXPECT_GT(with, 1000);
+  s.RemoveAttribute(1, "blob");
+  EXPECT_LT(s.ApproxBytes(), with - 900);
+  s.DeleteRecord(1);
+  EXPECT_EQ(s.ApproxBytes(), 0);
+}
+
+TEST(RecordStoreTest, DeleteRecord) {
+  RecordStore s;
+  s.SetAttribute(1, "a", int64_t{1}, 0, 0);
+  EXPECT_TRUE(s.DeleteRecord(1));
+  EXPECT_FALSE(s.DeleteRecord(1));
+  EXPECT_EQ(s.Count(), 0);
+}
+
+TEST(RecordStoreTest, PutRecordReplaces) {
+  RecordStore s;
+  s.SetAttribute(1, "a", int64_t{1}, 0, 0);
+  Record r;
+  r.Set("b", int64_t{2}, 0, 0);
+  s.PutRecord(1, r);
+  EXPECT_FALSE(s.Find(1)->Has("a"));
+  EXPECT_TRUE(s.Find(1)->Has("b"));
+}
+
+TEST(RecordStoreTest, ForEachVisitsAll) {
+  RecordStore s;
+  for (RecordKey k = 0; k < 10; ++k) {
+    s.SetAttribute(k, "a", static_cast<int64_t>(k), 0, 0);
+  }
+  int64_t visited = 0;
+  s.ForEach([&](RecordKey, const Record&) { ++visited; });
+  EXPECT_EQ(visited, 10);
+}
+
+// ---------------------------------------------------------------------------
+// CommitLog
+// ---------------------------------------------------------------------------
+
+WriteOp Upsert(RecordKey key, const std::string& attr, Value v, MicroTime t) {
+  WriteOp op;
+  op.kind = WriteKind::kUpsertAttr;
+  op.key = key;
+  op.attr = attr;
+  op.attribute = {std::move(v), t, 0};
+  return op;
+}
+
+TEST(CommitLogTest, AppendAssignsMonotonicSeq) {
+  CommitLog log;
+  EXPECT_EQ(log.LastSeq(), 0u);
+  EXPECT_EQ(log.Append(10, 0, {Upsert(1, "a", int64_t{1}, 10)}), 1u);
+  EXPECT_EQ(log.Append(20, 0, {Upsert(1, "a", int64_t{2}, 20)}), 2u);
+  EXPECT_EQ(log.LastSeq(), 2u);
+  EXPECT_EQ(log.At(1).commit_time, 10);
+}
+
+TEST(CommitLogTest, SeqAtTimeBinarySearch) {
+  CommitLog log;
+  log.Append(10, 0, {});
+  log.Append(20, 0, {});
+  log.Append(30, 0, {});
+  EXPECT_EQ(log.SeqAtTime(5), 0u);
+  EXPECT_EQ(log.SeqAtTime(10), 1u);
+  EXPECT_EQ(log.SeqAtTime(25), 2u);
+  EXPECT_EQ(log.SeqAtTime(1000), 3u);
+}
+
+TEST(CommitLogTest, ReplayRangeAppliesInOrder) {
+  CommitLog log;
+  log.Append(10, 0, {Upsert(1, "a", int64_t{1}, 10)});
+  log.Append(20, 0, {Upsert(1, "a", int64_t{2}, 20)});
+  log.Append(30, 0, {Upsert(2, "b", int64_t{3}, 30)});
+  RecordStore s;
+  log.ReplayRange(&s, 0, 2);
+  EXPECT_EQ(ValueToString(*s.Find(1)->Get("a")), "2");
+  EXPECT_FALSE(s.Contains(2));
+  log.ReplayRange(&s, 2, 3);
+  EXPECT_TRUE(s.Contains(2));
+}
+
+TEST(CommitLogTest, TruncateAfterDiscardsSuffix) {
+  CommitLog log;
+  log.Append(10, 0, {});
+  log.Append(20, 0, {});
+  log.Append(30, 0, {});
+  log.TruncateAfter(1);
+  EXPECT_EQ(log.LastSeq(), 1u);
+  log.TruncateAfter(5);  // No-op beyond head.
+  EXPECT_EQ(log.LastSeq(), 1u);
+}
+
+TEST(CommitLogTest, ApplyDeleteOp) {
+  RecordStore s;
+  s.SetAttribute(1, "a", int64_t{1}, 0, 0);
+  WriteOp del;
+  del.kind = WriteKind::kDeleteRecord;
+  del.key = 1;
+  ApplyWriteOp(&s, del);
+  EXPECT_FALSE(s.Contains(1));
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+class TxnTest : public ::testing::Test {
+ protected:
+  RecordStore store_;
+  CommitLog log_;
+  TransactionManager mgr_{&store_, &log_, /*replica_id=*/3};
+};
+
+TEST_F(TxnTest, CommitAppliesAtomically) {
+  Transaction txn = mgr_.Begin();
+  ASSERT_TRUE(txn.SetAttribute(1, "imsi", std::string("214")).ok());
+  ASSERT_TRUE(txn.SetAttribute(1, "msisdn", std::string("+34")).ok());
+  ASSERT_TRUE(txn.SetAttribute(2, "imsi", std::string("215")).ok());
+  EXPECT_FALSE(store_.Contains(1));  // Nothing visible before commit.
+  auto seq = txn.Commit(100);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 1u);
+  EXPECT_TRUE(store_.Contains(1));
+  EXPECT_TRUE(store_.Contains(2));
+  EXPECT_EQ(store_.Find(1)->Find("imsi")->modified_at, 100);
+  EXPECT_EQ(store_.Find(1)->Find("imsi")->writer, 3u);
+  EXPECT_EQ(log_.At(1).ops.size(), 3u);
+}
+
+TEST_F(TxnTest, AbortDiscardsWrites) {
+  Transaction txn = mgr_.Begin();
+  ASSERT_TRUE(txn.SetAttribute(1, "a", int64_t{1}).ok());
+  txn.Abort();
+  EXPECT_FALSE(store_.Contains(1));
+  EXPECT_EQ(log_.LastSeq(), 0u);
+  EXPECT_EQ(mgr_.aborts(), 1);
+}
+
+TEST_F(TxnTest, DestructorAborts) {
+  {
+    Transaction txn = mgr_.Begin();
+    ASSERT_TRUE(txn.SetAttribute(1, "a", int64_t{1}).ok());
+  }
+  EXPECT_FALSE(store_.Contains(1));
+  EXPECT_EQ(mgr_.aborts(), 1);
+}
+
+TEST_F(TxnTest, ReadYourOwnWrites) {
+  Transaction txn = mgr_.Begin();
+  ASSERT_TRUE(txn.SetAttribute(1, "a", int64_t{7}).ok());
+  auto v = txn.GetAttribute(1, "a");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(ValueToString(*v), "7");
+  txn.Abort();
+}
+
+TEST_F(TxnTest, ReadCommittedDoesNotSeeDirtyWrites) {
+  store_.SetAttribute(1, "a", int64_t{1}, 0, 0);
+  Transaction writer = mgr_.Begin();
+  ASSERT_TRUE(writer.SetAttribute(1, "a", int64_t{99}).ok());
+
+  Transaction reader = mgr_.Begin(IsolationLevel::kReadCommitted);
+  auto v = reader.GetAttribute(1, "a");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(ValueToString(*v), "1");  // Committed value, not the dirty 99.
+  reader.Abort();
+  writer.Abort();
+}
+
+TEST_F(TxnTest, ReadUncommittedSeesDirtyWrites) {
+  store_.SetAttribute(1, "a", int64_t{1}, 0, 0);
+  Transaction writer = mgr_.Begin();
+  ASSERT_TRUE(writer.SetAttribute(1, "a", int64_t{99}).ok());
+
+  Transaction reader = mgr_.Begin(IsolationLevel::kReadUncommitted);
+  auto v = reader.GetAttribute(1, "a");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(ValueToString(*v), "99");  // The dirty-read anomaly (§3.2).
+  reader.Abort();
+  writer.Abort();
+}
+
+TEST_F(TxnTest, DirtyReadCanObserveAbortedData) {
+  // The canonical READ_UNCOMMITTED anomaly: the reader acted on data that
+  // never committed.
+  store_.SetAttribute(1, "barred", false, 0, 0);
+  Transaction writer = mgr_.Begin();
+  ASSERT_TRUE(writer.SetAttribute(1, "barred", true).ok());
+  Transaction reader = mgr_.Begin(IsolationLevel::kReadUncommitted);
+  auto dirty = reader.GetAttribute(1, "barred");
+  ASSERT_TRUE(dirty.ok());
+  EXPECT_EQ(ValueToString(*dirty), "true");
+  writer.Abort();  // The write never happened.
+  auto after = reader.GetAttribute(1, "barred");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(ValueToString(*after), "false");
+  reader.Abort();
+}
+
+TEST_F(TxnTest, WriteWriteConflictAbortsSecondWriter) {
+  Transaction a = mgr_.Begin();
+  Transaction b = mgr_.Begin();
+  ASSERT_TRUE(a.SetAttribute(1, "x", int64_t{1}).ok());
+  Status st = b.SetAttribute(1, "x", int64_t{2});
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(mgr_.conflicts(), 1);
+  // Different record: no conflict.
+  EXPECT_TRUE(b.SetAttribute(2, "x", int64_t{2}).ok());
+  a.Abort();
+  // Lock released: b can now write record 1.
+  EXPECT_TRUE(b.SetAttribute(1, "x", int64_t{3}).ok());
+  ASSERT_TRUE(b.Commit(10).ok());
+  EXPECT_EQ(ValueToString(*store_.Find(1)->Get("x")), "3");
+}
+
+TEST_F(TxnTest, ReadsNeverBlockOnWriteLocks) {
+  // READ_COMMITTED chosen "to prevent locking from delaying reads" (§3.2).
+  Transaction writer = mgr_.Begin();
+  store_.SetAttribute(1, "a", int64_t{5}, 0, 0);
+  ASSERT_TRUE(writer.SetAttribute(1, "a", int64_t{6}).ok());
+  Transaction reader = mgr_.Begin();
+  EXPECT_TRUE(reader.GetAttribute(1, "a").ok());  // Succeeds immediately.
+  reader.Abort();
+  writer.Abort();
+}
+
+TEST_F(TxnTest, EmptyCommitAppendsNothing) {
+  Transaction txn = mgr_.Begin();
+  auto seq = txn.Commit(5);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, 0u);
+  EXPECT_EQ(log_.LastSeq(), 0u);
+}
+
+TEST_F(TxnTest, DeleteRecordInTransaction) {
+  store_.SetAttribute(1, "a", int64_t{1}, 0, 0);
+  Transaction txn = mgr_.Begin();
+  ASSERT_TRUE(txn.DeleteRecord(1).ok());
+  EXPECT_FALSE(txn.RecordExists(1));     // Gone in own view.
+  EXPECT_TRUE(store_.Contains(1));       // Still committed.
+  ASSERT_TRUE(txn.Commit(10).ok());
+  EXPECT_FALSE(store_.Contains(1));
+}
+
+TEST_F(TxnTest, SerializationOrderMatchesCommitOrder) {
+  Transaction a = mgr_.Begin();
+  Transaction b = mgr_.Begin();
+  ASSERT_TRUE(a.SetAttribute(1, "x", int64_t{1}).ok());
+  ASSERT_TRUE(b.SetAttribute(2, "y", int64_t{2}).ok());
+  ASSERT_TRUE(b.Commit(10).ok());   // b commits first.
+  ASSERT_TRUE(a.Commit(20).ok());
+  EXPECT_EQ(log_.At(1).ops[0].key, 2u);
+  EXPECT_EQ(log_.At(2).ops[0].key, 1u);
+}
+
+TEST_F(TxnTest, MoveTransfersOwnership) {
+  Transaction a = mgr_.Begin();
+  ASSERT_TRUE(a.SetAttribute(1, "x", int64_t{1}).ok());
+  Transaction b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.active());
+  ASSERT_TRUE(b.Commit(10).ok());
+  EXPECT_TRUE(store_.Contains(1));
+}
+
+// ---------------------------------------------------------------------------
+// StorageElement durability model
+// ---------------------------------------------------------------------------
+
+StorageElementConfig SmallSe() {
+  StorageElementConfig cfg;
+  cfg.name = "test-se";
+  cfg.ram_budget_bytes = 1 << 20;
+  cfg.checkpoint_period = Seconds(60);
+  return cfg;
+}
+
+TEST(StorageElementTest, CheckpointTimesQuantized) {
+  sim::SimClock clock;
+  StorageElement se(SmallSe(), &clock);
+  EXPECT_EQ(se.LastCheckpointTime(Seconds(59)), 0);
+  EXPECT_EQ(se.LastCheckpointTime(Seconds(60)), Seconds(60));
+  EXPECT_EQ(se.LastCheckpointTime(Seconds(185)), Seconds(180));
+}
+
+TEST(StorageElementTest, CrashLosesPostCheckpointCommits) {
+  sim::SimClock clock;
+  StorageElement se(SmallSe(), &clock);
+  // Commit at t=10s (before checkpoint at 60s) and t=70s (after).
+  clock.AdvanceTo(Seconds(10));
+  {
+    Transaction txn = se.Begin();
+    ASSERT_TRUE(txn.SetAttribute(1, "a", int64_t{1}).ok());
+    ASSERT_TRUE(txn.Commit(clock.Now()).ok());
+  }
+  clock.AdvanceTo(Seconds(70));
+  {
+    Transaction txn = se.Begin();
+    ASSERT_TRUE(txn.SetAttribute(2, "b", int64_t{2}).ok());
+    ASSERT_TRUE(txn.Commit(clock.Now()).ok());
+  }
+  clock.AdvanceTo(Seconds(90));
+  CrashRecovery rec = se.CrashAndRecoverLocally(clock.Now());
+  EXPECT_EQ(rec.last_seq_before_crash, 2u);
+  EXPECT_EQ(rec.recovered_seq, 1u);  // Checkpoint at 60s captured seq 1 only.
+  EXPECT_EQ(rec.lost_transactions, 1);
+  EXPECT_EQ(rec.data_loss_window, Seconds(20));
+  EXPECT_TRUE(se.store().Contains(1));
+  EXPECT_FALSE(se.store().Contains(2));
+  EXPECT_EQ(se.log().LastSeq(), 1u);
+}
+
+TEST(StorageElementTest, WalSyncModeLosesNothing) {
+  sim::SimClock clock;
+  StorageElementConfig cfg = SmallSe();
+  cfg.wal_sync_commit = true;
+  StorageElement se(cfg, &clock);
+  clock.AdvanceTo(Seconds(10));
+  {
+    Transaction txn = se.Begin();
+    ASSERT_TRUE(txn.SetAttribute(1, "a", int64_t{1}).ok());
+    ASSERT_TRUE(txn.Commit(clock.Now()).ok());
+  }
+  clock.AdvanceTo(Seconds(30));
+  CrashRecovery rec = se.CrashAndRecoverLocally(clock.Now());
+  EXPECT_EQ(rec.lost_transactions, 0);
+  EXPECT_TRUE(se.store().Contains(1));
+}
+
+TEST(StorageElementTest, WalSyncCostsLatency) {
+  sim::SimClock clock;
+  StorageElementConfig plain = SmallSe();
+  StorageElementConfig synced = SmallSe();
+  synced.wal_sync_commit = true;
+  StorageElement a(plain, &clock), b(synced, &clock);
+  EXPECT_GT(b.WriteServiceTime(), a.WriteServiceTime() + Millis(3));
+  EXPECT_EQ(a.ReadServiceTime(), b.ReadServiceTime());  // Reads unaffected.
+}
+
+TEST(StorageElementTest, ShorterCheckpointPeriodSlowsEngine) {
+  sim::SimClock clock;
+  StorageElementConfig fast = SmallSe();
+  fast.checkpoint_period = Minutes(5);
+  StorageElementConfig busy = SmallSe();
+  busy.checkpoint_period = Seconds(10);
+  StorageElement a(fast, &clock), b(busy, &clock);
+  EXPECT_GT(b.ReadServiceTime(), a.ReadServiceTime());
+  EXPECT_GT(b.WriteServiceTime(), a.WriteServiceTime());
+}
+
+TEST(StorageElementTest, CapacityAdmission) {
+  sim::SimClock clock;
+  StorageElementConfig cfg = SmallSe();
+  cfg.ram_budget_bytes = 4096;
+  StorageElement se(cfg, &clock);
+  EXPECT_TRUE(se.CheckCapacity(1000).ok());
+  {
+    Transaction txn = se.Begin();
+    ASSERT_TRUE(txn.SetAttribute(1, "blob", std::string(3000, 'x')).ok());
+    ASSERT_TRUE(txn.Commit(0).ok());
+  }
+  EXPECT_TRUE(se.CheckCapacity(2000).IsResourceExhausted());
+  EXPECT_LT(se.FreeBytes(), 4096 - 3000);
+}
+
+TEST(StorageElementTest, SubscriberCapacityArithmetic) {
+  sim::SimClock clock;
+  StorageElementConfig cfg = SmallSe();
+  cfg.ram_budget_bytes = 200LL * 1000 * 1000 * 1000;
+  StorageElement se(cfg, &clock);
+  // 200 GB / 100 KB per average profile = 2e6 subscribers (paper §3.5).
+  EXPECT_EQ(se.SubscriberCapacity(100 * 1000), 2'000'000);
+}
+
+}  // namespace
+}  // namespace udr::storage
