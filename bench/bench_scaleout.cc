@@ -1,4 +1,4 @@
-// E9 — scale-out and the S-R link (§3.4.2).
+// E9 — scale-out and the S-R link (§3.4.2), plus live rebalancing.
 //
 // Deploying an additional blade cluster auto-creates a data location stage
 // instance that must copy all provisioned identity-location maps from a
@@ -6,8 +6,14 @@
 // hit). The window grows linearly with the provisioned subscriber base. The
 // cached-map alternative (§3.5) has no window but pays the E8 broadcast
 // cost per miss — the F-R-S triangle the paper calls "likely to change".
+//
+// E9d measures the routing layer's Rebalance(): primary-copy spread across
+// storage elements before/after a scale-out migration, and the migration
+// cost (entries replayed, bytes moved, modelled bulk-resync time).
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
 
 #include "common/table.h"
 #include "workload/testbed.h"
@@ -87,6 +93,51 @@ void PrintScaleoutTables() {
                w2 > 8 * w1 && w2 < 12 * w1 ? "PASS" : "FAIL"});
   }
   t3.Print();
+
+  Table t4("E9d: live rebalancing on scale-out (4 clusters -> 5, "
+           "2 partitions per SE)",
+           {"subscribers", "spread before", "spread after", "moves",
+            "entries replayed", "bytes moved", "migration time"});
+  for (int64_t subs : {1'000LL, 5'000LL, 20'000LL}) {
+    workload::TestbedOptions o;
+    o.sites = 4;
+    o.udr.partitions_per_se = 2;
+    workload::Testbed bed(o);
+    bed.ProvisionDirect(0, subs);
+    auto report = bed.ScaleOut(0);  // Fifth cluster; fresh SEs, 0 primaries.
+    if (!report.ok()) continue;
+    t4.AddRow({Table::Num(subs), Table::Num(report->spread_before),
+               Table::Num(report->spread_after),
+               Table::Num(static_cast<int64_t>(report->moves.size())),
+               Table::Num(report->entries_replayed),
+               Table::Num(report->bytes_moved), Table::Dur(report->duration)});
+  }
+  t4.Print();
+
+  Table t5("E9e: post-rebalance primary-copy distribution sanity",
+           {"check", "result"});
+  {
+    workload::TestbedOptions o;
+    o.sites = 4;
+    o.udr.partitions_per_se = 2;
+    o.subscribers = 2'000;
+    workload::Testbed bed(o);
+    auto report = bed.ScaleOut(1);
+    bool balanced = report.ok() &&
+                    bed.udr().partition_map().PrimarySpread() <= 1;
+    std::vector<int> primaries = bed.udr().partition_map().PrimariesPerSe();
+    int on_new = 0;
+    for (size_t i = primaries.size() - 2; i < primaries.size(); ++i) {
+      on_new += primaries[i];
+    }
+    t5.AddRow({"per-SE primary spread <= 1 after Rebalance()",
+               balanced ? "PASS" : "FAIL"});
+    t5.AddRow({"new SEs received primary copies",
+               on_new >= 2 ? "PASS" : "FAIL"});
+    t5.AddRow({"no subscriber lost",
+               bed.udr().SubscriberCount() == 2'000 ? "PASS" : "FAIL"});
+  }
+  t5.Print();
 }
 
 void BM_ScaleOutCluster(benchmark::State& state) {
@@ -102,6 +153,24 @@ void BM_ScaleOutCluster(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScaleOutCluster)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void BM_RebalanceAfterScaleOut(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    workload::TestbedOptions o;
+    o.sites = 4;
+    o.udr.partitions_per_se = 2;
+    workload::Testbed bed(o);
+    bed.ProvisionDirect(0, 1000);
+    (void)bed.udr().AddCluster(0);
+    state.ResumeTiming();
+    auto r = bed.udr().Rebalance();
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RebalanceAfterScaleOut)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
 
 }  // namespace
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (build + ctest) followed by an ASan/UBSan
+# build of the test suite. Usage: ./ci.sh [--skip-sanitizers]
+set -euo pipefail
+
+cd "$(dirname "$0")"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "${JOBS}"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--skip-sanitizers" ]]; then
+  echo "== sanitizers skipped =="
+  exit 0
+fi
+
+echo "== ASan/UBSan: configure + build =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DUDR_SANITIZE=ON
+cmake --build build-asan -j "${JOBS}"
+
+echo "== ASan/UBSan: ctest =="
+ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo "== ci.sh: all green =="

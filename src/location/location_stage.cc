@@ -159,29 +159,12 @@ void CachedLocationStage::InvalidateAll() { cache_.clear(); }
 
 ConsistentHashLocationStage::ConsistentHashLocationStage(
     uint32_t partitions, int vnodes_per_partition, LocationCostModel model)
-    : model_(model), partitions_(partitions) {
-  ring_.reserve(static_cast<size_t>(partitions) * vnodes_per_partition);
-  for (uint32_t p = 0; p < partitions; ++p) {
-    for (int v = 0; v < vnodes_per_partition; ++v) {
-      // Stable ring points derived from (partition, vnode) via FNV-1a.
-      uint64_t h = 14695981039346656037ULL;
-      uint64_t seed = (static_cast<uint64_t>(p) << 20) | static_cast<uint64_t>(v);
-      for (int b = 0; b < 8; ++b) {
-        h = (h ^ ((seed >> (b * 8)) & 0xFF)) * 1099511628211ULL;
-      }
-      ring_.emplace_back(h, p);
-    }
-  }
-  std::sort(ring_.begin(), ring_.end());
+    : model_(model), partitions_(partitions), ring_(vnodes_per_partition) {
+  ring_.AddNodes(0, partitions);
 }
 
 uint32_t ConsistentHashLocationStage::PartitionOf(const Identity& id) const {
-  uint64_t h = HashIdentity(id);
-  auto it = std::lower_bound(
-      ring_.begin(), ring_.end(), std::make_pair(h, 0u),
-      [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (it == ring_.end()) it = ring_.begin();
-  return it->second;
+  return ring_.NodeOfHash(HashIdentity(id));
 }
 
 ResolveResult ConsistentHashLocationStage::Resolve(const Identity& id,
@@ -207,7 +190,7 @@ Status ConsistentHashLocationStage::Bind(const Identity& id,
 
 int64_t ConsistentHashLocationStage::ApproxBytes() const {
   // Ring points only: (8-byte hash + 4-byte partition) per vnode.
-  return static_cast<int64_t>(ring_.size()) * 12;
+  return static_cast<int64_t>(ring_.point_count()) * 12;
 }
 
 }  // namespace udr::location

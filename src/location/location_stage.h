@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash_ring.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "location/identity.h"
@@ -180,7 +181,7 @@ class ConsistentHashLocationStage : public LocationStage {
  private:
   LocationCostModel model_;
   uint32_t partitions_;
-  std::vector<std::pair<uint64_t, uint32_t>> ring_;  // (point, partition).
+  HashRing ring_;  ///< Shared vnode ring (same primitive as routing::PartitionMap).
 };
 
 }  // namespace udr::location

@@ -491,6 +491,123 @@ StatusOr<FailoverReport> ReplicaSet::FailOver() {
   return report;
 }
 
+namespace {
+
+/// Approximate wire footprint of one log entry's write set.
+int64_t EntryBytes(const LogEntry& e) {
+  int64_t bytes = 0;
+  for (const WriteOp& op : e.ops) {
+    bytes += static_cast<int64_t>(op.attr.size()) + 16;  // Key + metadata.
+    if (op.kind == WriteKind::kUpsertAttr) {
+      bytes += storage::ValueBytes(op.attribute.value);
+    }
+  }
+  return bytes;
+}
+
+/// Approximate bytes this partition's slice (every key the log touched)
+/// occupies in `store`.
+int64_t SliceBytes(const storage::CommitLog& log,
+                   const storage::RecordStore& store) {
+  std::unordered_set<RecordKey> keys;
+  for (const LogEntry& entry : log.entries()) {
+    for (const WriteOp& op : entry.ops) keys.insert(op.key);
+  }
+  int64_t bytes = 0;
+  for (RecordKey key : keys) {
+    const Record* rec = store.Find(key);
+    if (rec != nullptr) bytes += rec->ApproxBytes();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+StatusOr<MigrationReport> ReplicaSet::MigratePrimaryTo(
+    storage::StorageElement* target) {
+  Replica& master = replicas_[master_];
+  if (!master.up) {
+    return Status::FailedPrecondition(
+        "master copy down; fail over before migrating the primary");
+  }
+  MigrationReport report;
+  if (target == master.se) {
+    report.new_master = master_;
+    return report;  // Already there; nothing to move.
+  }
+  sim::SiteId old_site = master_site();
+  if (!network_->Reachable(old_site, target->site())) {
+    return Status::Unavailable("migration target unreachable from master copy");
+  }
+
+  const CommitSeq last = log_.LastSeq();
+  int existing = -1;
+  for (uint32_t id = 0; id < replicas_.size(); ++id) {
+    if (replicas_[id].se == target) existing = static_cast<int>(id);
+  }
+
+  if (existing >= 0) {
+    // The target already hosts a secondary copy: force-sync the delta and
+    // promote it in place. The old primary SE keeps a (secondary) copy.
+    // Admission: the resync delta must fit the target's RAM budget — the
+    // shipped entry volume for an up replica, or (for a crashed one that
+    // will be dropped and rebuilt) the slice growth over what it now holds.
+    uint32_t t = static_cast<uint32_t>(existing);
+    int64_t delta_bytes = 0;
+    if (replicas_[t].up) {
+      for (CommitSeq s = replicas_[t].applied + 1; s <= last; ++s) {
+        delta_bytes += EntryBytes(log_.At(s));
+      }
+    } else {
+      delta_bytes = SliceBytes(log_, master.se->store()) -
+                    SliceBytes(log_, target->store());
+    }
+    if (delta_bytes > 0) {
+      UDR_RETURN_IF_ERROR(target->CheckCapacity(delta_bytes));
+    }
+    // Cost accounting baseline: a down replica is dropped and rebuilt from
+    // scratch, so the handoff ships the whole log — including whatever
+    // RecoverReplica's own catch-up replays — not just the tail left over
+    // after recovery.
+    CommitSeq before;
+    if (replicas_[t].up) {
+      before = replicas_[t].applied;
+    } else {
+      before = 0;
+      RecoverReplica(t);
+    }
+    Replica& r = replicas_[t];
+    for (CommitSeq s = before + 1; s <= last; ++s) {
+      report.bytes_moved += EntryBytes(log_.At(s));
+    }
+    while (r.applied < last) ApplyEntry(&r, r.applied + 1);
+    report.promoted_existing = true;
+    report.entries_replayed = static_cast<int64_t>(last - before);
+    report.new_master = t;
+    master_ = t;
+  } else {
+    // Fresh target: bulk resync the whole partition slice from the
+    // authoritative log, admission-checked against the target's RAM budget,
+    // then rebind the master replica slot and drop the old SE's copy.
+    int64_t slice_bytes = SliceBytes(log_, master.se->store());
+    UDR_RETURN_IF_ERROR(target->CheckCapacity(slice_bytes));
+    log_.ReplayRange(&target->store(), 0, last);
+    DropPartitionKeys(&master);
+    master.se = target;
+    master.applied = last;
+    master.up = true;
+    master.down_since = 0;
+    master.outages = sim::IntervalSet();  // Fresh hardware, full log on board.
+    report.entries_replayed = static_cast<int64_t>(last);
+    report.bytes_moved = slice_bytes;
+    report.new_master = master_;
+  }
+  report.duration =
+      network_->topology().Rtt(old_site, target->site()) +
+      report.entries_replayed * target->WriteServiceTime();
+  return report;
+}
+
 bool ReplicaSet::HasDivergence() const {
   for (const Replica& r : replicas_) {
     if (!r.divergence.empty()) return true;

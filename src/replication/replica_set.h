@@ -105,6 +105,17 @@ struct FailoverReport {
   int64_t lost_transactions = 0;            ///< Acked commits discarded.
 };
 
+/// Result of a planned primary-copy migration (scale-out rebalancing). The
+/// handoff ships the full authoritative log to the target before switching
+/// ownership, so — unlike a failover — no acknowledged write is lost.
+struct MigrationReport {
+  uint32_t new_master = 0;          ///< Replica id now holding the primary copy.
+  bool promoted_existing = false;   ///< Target already hosted a secondary copy.
+  int64_t entries_replayed = 0;     ///< Log entries shipped to the target.
+  int64_t bytes_moved = 0;          ///< Approx partition state bytes shipped.
+  MicroDuration duration = 0;       ///< Modelled bulk-resync time.
+};
+
 /// Result of a consistency-restoration pass after a partition heals (§5).
 struct RestorationReport {
   int64_t divergent_entries = 0;   ///< Transactions taken on the minority side.
@@ -133,6 +144,10 @@ class ReplicaSet {
   storage::CommitSeq applied_seq(uint32_t id) const;
   const storage::CommitLog& log() const { return log_; }
   const storage::RecordStore& replica_store(uint32_t id) const;
+  storage::StorageElement* replica_se(uint32_t id) { return replicas_[id].se; }
+  const storage::StorageElement* replica_se(uint32_t id) const {
+    return replicas_[id].se;
+  }
 
   // -- Data path ---------------------------------------------------------------
 
@@ -165,6 +180,16 @@ class ReplicaSet {
 
   /// Promotes the most caught-up reachable replica after a master failure.
   StatusOr<FailoverReport> FailOver();
+
+  /// Planned primary-copy handoff to `target` (scale-out rebalancing). When
+  /// the target already hosts a secondary copy it is force-synced to the full
+  /// log and promoted in place; otherwise the whole partition slice is bulk
+  /// resynced from the commit log onto the target, the old primary SE drops
+  /// its copy, and the master replica slot is rebound to the target. Either
+  /// way every acknowledged write is on the new primary before it takes
+  /// ownership. Fails when the current master is down (fail over first) or
+  /// the target is unreachable from the master's site.
+  StatusOr<MigrationReport> MigratePrimaryTo(storage::StorageElement* target);
 
   /// Merges all divergence logs after a partition heals (§5) and resyncs
   /// every replica to the merged state.

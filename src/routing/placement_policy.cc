@@ -1,0 +1,70 @@
+#include "routing/placement_policy.h"
+
+namespace udr::routing {
+
+StatusOr<uint32_t> LeastLoadedPolicy::PickPartition(
+    const PartitionMap& map, const PlacementRequest& req) {
+  (void)req;
+  if (map.partition_count() == 0) return EmptyMapError();
+  uint32_t best = 0;
+  for (uint32_t p = 1; p < map.partition_count(); ++p) {
+    if (map.population(p) < map.population(best)) best = p;
+  }
+  return best;
+}
+
+StatusOr<uint32_t> RoundRobinPolicy::PickPartition(
+    const PartitionMap& map, const PlacementRequest& req) {
+  (void)req;
+  if (map.partition_count() == 0) return EmptyMapError();
+  uint32_t pick = cursor_ % static_cast<uint32_t>(map.partition_count());
+  cursor_ = pick + 1;
+  return pick;
+}
+
+StatusOr<uint32_t> HashPolicy::PickPartition(const PartitionMap& map,
+                                             const PlacementRequest& req) {
+  if (map.partition_count() == 0) return EmptyMapError();
+  if (req.identity == nullptr) {
+    return Status::InvalidArgument("hash placement needs an identity");
+  }
+  return map.PartitionOfIdentity(*req.identity);
+}
+
+SelectivePolicy::SelectivePolicy(std::unique_ptr<PlacementPolicy> fallback)
+    : fallback_(std::move(fallback)) {}
+
+StatusOr<uint32_t> SelectivePolicy::PickPartition(const PartitionMap& map,
+                                                  const PlacementRequest& req) {
+  if (map.partition_count() == 0) return EmptyMapError();
+  if (req.home_site.has_value()) {
+    int best = -1;
+    for (uint32_t p = 0; p < map.partition_count(); ++p) {
+      if (map.master_site(p) != *req.home_site) continue;
+      if (best < 0 || map.population(p) < map.population(best)) {
+        best = static_cast<int>(p);
+      }
+    }
+    if (best >= 0) return static_cast<uint32_t>(best);
+    // No partition's master copy lives there: global placement.
+  }
+  return fallback_->PickPartition(map, req);
+}
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind) {
+  std::unique_ptr<PlacementPolicy> inner;
+  switch (kind) {
+    case PlacementKind::kLeastLoaded:
+      inner = std::make_unique<LeastLoadedPolicy>();
+      break;
+    case PlacementKind::kRoundRobin:
+      inner = std::make_unique<RoundRobinPolicy>();
+      break;
+    case PlacementKind::kHash:
+      inner = std::make_unique<HashPolicy>();
+      break;
+  }
+  return std::make_unique<SelectivePolicy>(std::move(inner));
+}
+
+}  // namespace udr::routing

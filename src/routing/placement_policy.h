@@ -1,0 +1,105 @@
+// PlacementPolicy: where a new subscription's primary copy goes, extracted
+// from the hard-coded partition-selection logic that used to live inside
+// UdrNf::PickPartitionForCreate.
+//
+// Realizations:
+//   * LeastLoadedPolicy  — global load balancing by partition population;
+//   * RoundRobinPolicy   — cycle through partitions in id order;
+//   * HashPolicy         — consistent-hash the first identity on the map's
+//                          ring (no placement state, no selectivity);
+//   * SelectivePolicy    — §3.5 selective placement: honor an explicit home
+//                          site by pinning to a partition whose master copy
+//                          sits there, delegating to an inner policy when no
+//                          home site is given (or none matches).
+
+#ifndef UDR_ROUTING_PLACEMENT_POLICY_H_
+#define UDR_ROUTING_PLACEMENT_POLICY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "location/identity.h"
+#include "routing/partition_map.h"
+#include "sim/topology.h"
+
+namespace udr::routing {
+
+/// Inputs a policy may consult when placing one new subscription.
+struct PlacementRequest {
+  /// Selective placement (§3.5): pin the primary copy to this site.
+  std::optional<sim::SiteId> home_site;
+  /// First identity of the subscription (hash-placement key); may be null.
+  const location::Identity* identity = nullptr;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Picks the partition for a new subscription. The map is commissioned
+  /// before this is called; an empty map is FailedPrecondition.
+  virtual StatusOr<uint32_t> PickPartition(const PartitionMap& map,
+                                           const PlacementRequest& req) = 0;
+
+  virtual std::string Name() const = 0;
+
+ protected:
+  static Status EmptyMapError() {
+    return Status::FailedPrecondition("no storage deployed in the UDR NF");
+  }
+};
+
+/// Least-populated partition wins (ties to the lowest id).
+class LeastLoadedPolicy : public PlacementPolicy {
+ public:
+  StatusOr<uint32_t> PickPartition(const PartitionMap& map,
+                                   const PlacementRequest& req) override;
+  std::string Name() const override { return "least-loaded"; }
+};
+
+/// Partitions in id order, wrapping around.
+class RoundRobinPolicy : public PlacementPolicy {
+ public:
+  StatusOr<uint32_t> PickPartition(const PartitionMap& map,
+                                   const PlacementRequest& req) override;
+  std::string Name() const override { return "round-robin"; }
+
+ private:
+  uint32_t cursor_ = 0;
+};
+
+/// Consistent-hash the first identity on the partition map's ring.
+class HashPolicy : public PlacementPolicy {
+ public:
+  StatusOr<uint32_t> PickPartition(const PartitionMap& map,
+                                   const PlacementRequest& req) override;
+  std::string Name() const override { return "consistent-hash"; }
+};
+
+/// Honors `home_site` by picking the least-populated partition whose master
+/// copy sits there; everything else goes to the inner policy.
+class SelectivePolicy : public PlacementPolicy {
+ public:
+  explicit SelectivePolicy(std::unique_ptr<PlacementPolicy> fallback);
+
+  StatusOr<uint32_t> PickPartition(const PartitionMap& map,
+                                   const PlacementRequest& req) override;
+  std::string Name() const override {
+    return "selective(" + fallback_->Name() + ")";
+  }
+
+ private:
+  std::unique_ptr<PlacementPolicy> fallback_;
+};
+
+/// Which fallback policy the NF deploys under selective placement.
+enum class PlacementKind { kLeastLoaded, kRoundRobin, kHash };
+
+/// Builds the deployment policy: SelectivePolicy over the requested kind.
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind);
+
+}  // namespace udr::routing
+
+#endif  // UDR_ROUTING_PLACEMENT_POLICY_H_

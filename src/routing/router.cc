@@ -1,0 +1,103 @@
+#include "routing/router.h"
+
+#include <string>
+
+namespace udr::routing {
+
+using location::Identity;
+using location::LocationEntry;
+using location::ResolveResult;
+
+Router::Router(PartitionMap* map, sim::Network* network, Metrics* metrics)
+    : map_(map), network_(network), metrics_(metrics) {}
+
+void Router::RegisterPoa(uint32_t cluster_id, sim::SiteId site,
+                         location::LocationStage* stage) {
+  // A freshly deployed stage starts with whatever its realization syncs on
+  // its own (§3.4.2 provisioned copy, or cache-on-miss); the router only
+  // fans out bindings made from now on.
+  poas_.push_back(Poa{cluster_id, site, stage});
+}
+
+StatusOr<uint32_t> Router::FindPoaCluster(sim::SiteId client_site) const {
+  int best = -1;
+  MicroDuration best_rtt = 0;
+  for (size_t i = 0; i < poas_.size(); ++i) {
+    sim::SiteId s = poas_[i].site;
+    if (!network_->Reachable(client_site, s)) continue;
+    MicroDuration rtt = network_->topology().Rtt(client_site, s);
+    if (best < 0 || rtt < best_rtt) {
+      best = static_cast<int>(i);
+      best_rtt = rtt;
+    }
+  }
+  if (best < 0) {
+    return Status::Unavailable("no reachable Point of Access from site " +
+                               std::to_string(client_site));
+  }
+  return poas_[best].cluster_id;
+}
+
+location::LocationStage* Router::StageAtSite(sim::SiteId site) const {
+  for (const Poa& poa : poas_) {
+    if (poa.site == site) return poa.stage;
+  }
+  return nullptr;
+}
+
+StatusOr<LocationEntry> Router::AuthoritativeLookup(const Identity& id) const {
+  auto it = authoritative_.find(id);
+  if (it == authoritative_.end()) {
+    return Status::NotFound("identity " + id.ToString() + " not provisioned");
+  }
+  return it->second;
+}
+
+void Router::Bind(const Identity& id, const LocationEntry& entry) {
+  authoritative_[id] = entry;
+  for (const Poa& poa : poas_) {
+    if (poa.stage != nullptr) (void)poa.stage->Bind(id, entry);
+  }
+}
+
+void Router::Unbind(const Identity& id) {
+  authoritative_.erase(id);
+  for (const Poa& poa : poas_) {
+    if (poa.stage != nullptr) (void)poa.stage->Unbind(id);
+  }
+}
+
+ResolveResult Router::ResolveAt(const Identity& id, sim::SiteId poa_site) {
+  location::LocationStage* stage = StageAtSite(poa_site);
+  if (stage == nullptr) {
+    ResolveResult out;
+    out.status = Status::Unavailable("no location stage at site " +
+                                     std::to_string(poa_site));
+    return out;
+  }
+  return stage->Resolve(id, network_->Now());
+}
+
+RouteResult Router::Route(const Identity& id, sim::SiteId poa_site) {
+  RouteResult out;
+  ResolveResult loc = ResolveAt(id, poa_site);
+  out.resolve_cost = loc.cost;
+  if (!loc.status.ok()) {
+    out.status = loc.status;
+    metrics_->Add("router.resolve.failed");
+    return out;
+  }
+  if (loc.entry.partition >= map_->partition_count()) {
+    out.status = Status::Internal("location entry names unknown partition " +
+                                  std::to_string(loc.entry.partition));
+    return out;
+  }
+  out.status = Status::Ok();
+  out.key = loc.entry.key;
+  out.partition = loc.entry.partition;
+  out.rs = map_->partition(loc.entry.partition);
+  metrics_->Add("router.routed");
+  return out;
+}
+
+}  // namespace udr::routing

@@ -1,0 +1,104 @@
+// Router: carries a request from the Point of Access through identity
+// location to the replica set owning the subscriber's partition — the data
+// location stage of the paper's three-tier PoA / location / storage split,
+// extracted from UdrNf.
+//
+// Responsibilities:
+//   * PoA selection: nearest reachable Point of Access for a client site;
+//   * identity resolution at a PoA's data location stage instance (§3.3.1
+//     decision 1: resolution never leaves the PoA);
+//   * the authoritative identity -> location map (what a broadcast over all
+//     SEs would answer) and bind/unbind fan-out to every PoA stage;
+//   * the final hop: LocationEntry -> owning replication::ReplicaSet via the
+//     PartitionMap.
+//
+// Location entries name a partition id, not a storage element, so they stay
+// valid across primary-copy migrations and failovers — rebalancing needs no
+// location-stage rebind.
+
+#ifndef UDR_ROUTING_ROUTER_H_
+#define UDR_ROUTING_ROUTER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "location/identity.h"
+#include "location/location_stage.h"
+#include "routing/partition_map.h"
+#include "sim/network.h"
+
+namespace udr::routing {
+
+/// Outcome of routing one request to its owning replica set.
+struct RouteResult {
+  Status status;
+  replication::ReplicaSet* rs = nullptr;
+  storage::RecordKey key = 0;
+  uint32_t partition = 0;
+  MicroDuration resolve_cost = 0;  ///< Location-stage processing cost.
+};
+
+class Router {
+ public:
+  Router(PartitionMap* map, sim::Network* network, Metrics* metrics);
+
+  // -- PoA registry ------------------------------------------------------------
+
+  /// Registers a blade cluster's Point of Access and its data location stage
+  /// instance. Called by the deployment layer as clusters come up.
+  void RegisterPoa(uint32_t cluster_id, sim::SiteId site,
+                   location::LocationStage* stage);
+
+  /// Nearest reachable PoA for a client; returns its cluster id.
+  StatusOr<uint32_t> FindPoaCluster(sim::SiteId client_site) const;
+
+  /// Location stage serving `site`; nullptr when no PoA is deployed there.
+  location::LocationStage* StageAtSite(sim::SiteId site) const;
+
+  // -- Identity binding --------------------------------------------------------
+
+  /// Authoritative lookup (what a broadcast over all SEs returns).
+  StatusOr<location::LocationEntry> AuthoritativeLookup(
+      const location::Identity& id) const;
+  bool IsBound(const location::Identity& id) const {
+    return authoritative_.count(id) > 0;
+  }
+
+  /// Records a binding authoritatively and at every PoA stage.
+  void Bind(const location::Identity& id, const location::LocationEntry& entry);
+
+  /// Removes a binding everywhere.
+  void Unbind(const location::Identity& id);
+
+  // -- Resolution and routing --------------------------------------------------
+
+  /// Resolves an identity at the location stage local to `poa_site`.
+  location::ResolveResult ResolveAt(const location::Identity& id,
+                                    sim::SiteId poa_site);
+
+  /// Full data-path hop: identity -> location entry -> owning replica set.
+  RouteResult Route(const location::Identity& id, sim::SiteId poa_site);
+
+  PartitionMap* partition_map() { return map_; }
+
+ private:
+  struct Poa {
+    uint32_t cluster_id = 0;
+    sim::SiteId site = 0;
+    location::LocationStage* stage = nullptr;
+  };
+
+  PartitionMap* map_;
+  sim::Network* network_;
+  Metrics* metrics_;
+  std::vector<Poa> poas_;
+  std::unordered_map<location::Identity, location::LocationEntry,
+                     location::IdentityHasher>
+      authoritative_;
+};
+
+}  // namespace udr::routing
+
+#endif  // UDR_ROUTING_ROUTER_H_

@@ -7,9 +7,15 @@ const Record* RecordStore::Find(RecordKey key) const {
   return it == records_.end() ? nullptr : &it->second;
 }
 
-Record* RecordStore::FindMutable(RecordKey key) {
+bool RecordStore::MutateRecord(RecordKey key,
+                               const std::function<void(Record&)>& fn) {
   auto it = records_.find(key);
-  return it == records_.end() ? nullptr : &it->second;
+  if (it == records_.end()) return false;
+  AccountRemove(it->second);
+  fn(it->second);
+  it->second.bump_version();
+  AccountAdd(it->second);
+  return true;
 }
 
 void RecordStore::SetAttribute(RecordKey key, const std::string& name,

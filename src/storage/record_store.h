@@ -19,9 +19,12 @@ class RecordStore {
   /// Looks up a record; nullptr when absent.
   const Record* Find(RecordKey key) const;
 
-  /// Mutable lookup; nullptr when absent. Callers that change record size
-  /// must go through the Set/Remove helpers to keep byte accounting right.
-  Record* FindMutable(RecordKey key);
+  /// In-place mutation with byte re-accounting. The record's footprint is
+  /// subtracted before `fn` runs and re-added after, so `fn` may freely grow
+  /// or shrink the record without desynchronizing ApproxBytes() — the
+  /// footgun the old bare mutable lookup allowed. Returns false when the key
+  /// is absent (`fn` is not called).
+  bool MutateRecord(RecordKey key, const std::function<void(Record&)>& fn);
 
   bool Contains(RecordKey key) const { return records_.count(key) > 0; }
 

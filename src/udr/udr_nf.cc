@@ -17,12 +17,32 @@ using location::IdentityType;
 using location::LocationEntry;
 using replication::ReadPreference;
 using replication::ReplicaSet;
-using replication::ReplicaSetConfig;
 using replication::WriteBuilder;
+using routing::RouteResult;
 using storage::Record;
 
+namespace {
+
+routing::PartitionMapConfig MapConfigFrom(const UdrConfig& config) {
+  routing::PartitionMapConfig mc;
+  mc.replication_factor = config.replication_factor;
+  mc.partitions_per_se = config.partitions_per_se;
+  mc.replica_template.sync_mode = config.sync_mode;
+  mc.replica_template.partition_mode = config.partition_mode;
+  mc.replica_template.merge_policy = config.merge_policy;
+  mc.replica_template.failover_detection = config.failover_detection;
+  mc.replica_template.async_ship_delay = config.async_ship_delay;
+  return mc;
+}
+
+}  // namespace
+
 UdrNf::UdrNf(UdrConfig config, sim::Network* network)
-    : config_(std::move(config)), network_(network) {}
+    : config_(std::move(config)),
+      network_(network),
+      map_(MapConfigFrom(config_), network),
+      router_(&map_, network, &metrics_),
+      placement_(routing::MakePlacementPolicy(config_.placement)) {}
 
 UdrNf::~UdrNf() = default;
 
@@ -36,7 +56,7 @@ std::unique_ptr<location::LocationStage> UdrNf::MakeLocationStage() {
         config_.location_model);
   }
   return std::make_unique<location::CachedLocationStage>(
-      [this](const Identity& id) { return AuthoritativeLookup(id); },
+      [this](const Identity& id) { return router_.AuthoritativeLookup(id); },
       [this]() { return TotalStorageElements(); }, config_.location_model);
 }
 
@@ -47,19 +67,23 @@ StatusOr<BladeCluster*> UdrNf::AddCluster(sim::SiteId site) {
   auto cluster = std::make_unique<BladeCluster>(
       static_cast<uint32_t>(clusters_.size()), site, network_->clock());
 
+  // Build every fallible piece before registering anything with the routing
+  // layer: an early return destroys the cluster, and the map must never be
+  // left holding pointers into it.
+  std::vector<storage::StorageElement*> new_ses;
   for (int i = 0; i < config_.se_per_cluster; ++i) {
     storage::StorageElementConfig se_cfg = config_.se_template;
     auto se = cluster->AddStorageElement(
-        se_cfg, static_cast<uint32_t>(all_ses_.size()));
+        se_cfg, static_cast<uint32_t>(map_.se_count() + new_ses.size()));
     if (!se.ok()) return se.status();
-    SeRef ref;
-    ref.se = *se;
-    ref.cluster = cluster->id();
-    all_ses_.push_back(ref);
+    new_ses.push_back(*se);
   }
   for (int i = 0; i < config_.ldap_per_cluster; ++i) {
     auto server = cluster->AddLdapServer(config_.ldap_template, this);
     if (!server.ok()) return server.status();
+  }
+  for (storage::StorageElement* se : new_ses) {
+    map_.RegisterStorageElement(se, cluster->id());
   }
 
   auto stage = MakeLocationStage();
@@ -75,75 +99,24 @@ StatusOr<BladeCluster*> UdrNf::AddCluster(sim::SiteId site) {
     }
   }
   cluster->SetLocationStage(std::move(stage));
+  router_.RegisterPoa(cluster->id(), site, cluster->location_stage());
 
   clusters_.push_back(std::move(cluster));
   return clusters_.back().get();
 }
 
-void UdrNf::CommissionPartitions() {
-  for (size_t i = 0; i < all_ses_.size(); ++i) {
-    SeRef& primary = all_ses_[i];
-    if (primary.has_partition) continue;
-
-    // Secondary copies: prefer SEs in other clusters (geographic dispersion,
-    // §3.1 decision 2), least-loaded first; fall back to same-cluster SEs.
-    std::vector<size_t> candidates;
-    for (size_t j = 0; j < all_ses_.size(); ++j) {
-      if (j != i) candidates.push_back(j);
-    }
-    std::stable_sort(candidates.begin(), candidates.end(),
-                     [&](size_t a, size_t b) {
-                       bool a_other = all_ses_[a].cluster != primary.cluster;
-                       bool b_other = all_ses_[b].cluster != primary.cluster;
-                       if (a_other != b_other) return a_other;
-                       if (all_ses_[a].secondary_load !=
-                           all_ses_[b].secondary_load) {
-                         return all_ses_[a].secondary_load <
-                                all_ses_[b].secondary_load;
-                       }
-                       return a < b;
-                     });
-
-    std::vector<storage::StorageElement*> members;
-    members.push_back(primary.se);
-    std::vector<uint32_t> used_clusters = {primary.cluster};
-    for (size_t j : candidates) {
-      if (static_cast<int>(members.size()) >= config_.replication_factor) break;
-      // First pass: one copy per cluster where possible.
-      if (std::count(used_clusters.begin(), used_clusters.end(),
-                     all_ses_[j].cluster) > 0 &&
-          candidates.size() + 1 >
-              static_cast<size_t>(config_.replication_factor)) {
-        bool can_still_fill = false;
-        int remaining = config_.replication_factor -
-                        static_cast<int>(members.size());
-        int distinct_left = 0;
-        for (size_t k : candidates) {
-          if (std::count(used_clusters.begin(), used_clusters.end(),
-                         all_ses_[k].cluster) == 0) {
-            ++distinct_left;
-          }
-        }
-        can_still_fill = distinct_left >= remaining;
-        if (can_still_fill) continue;
-      }
-      members.push_back(all_ses_[j].se);
-      used_clusters.push_back(all_ses_[j].cluster);
-      ++all_ses_[j].secondary_load;
-    }
-
-    ReplicaSetConfig rs_cfg;
-    rs_cfg.name = "partition-" + std::to_string(partitions_.size());
-    rs_cfg.sync_mode = config_.sync_mode;
-    rs_cfg.partition_mode = config_.partition_mode;
-    rs_cfg.merge_policy = config_.merge_policy;
-    rs_cfg.failover_detection = config_.failover_detection;
-    rs_cfg.async_ship_delay = config_.async_ship_delay;
-    partitions_.push_back(
-        std::make_unique<ReplicaSet>(rs_cfg, std::move(members), network_));
-    partition_population_.push_back(0);
-    primary.has_partition = true;
+StatusOr<routing::RebalanceReport> UdrNf::Rebalance() {
+  auto report = map_.Rebalance();
+  if (report.ok()) {
+    metrics_.Add("rebalance.passes");
+    metrics_.Add("rebalance.moves",
+                 static_cast<int64_t>(report->moves.size()));
+    metrics_.Observe("rebalance.duration_us", report->duration);
+    metrics_.Observe("rebalance.bytes_moved", report->bytes_moved);
+  } else {
+    metrics_.Add("rebalance.failed");
   }
+  return report;
 }
 
 BladeCluster* UdrNf::ClusterAtSite(sim::SiteId site) {
@@ -189,43 +162,6 @@ std::optional<IdentityType> UdrNf::IdentityTypeForAttr(const std::string& attr) 
   return std::nullopt;
 }
 
-StatusOr<LocationEntry> UdrNf::AuthoritativeLookup(const Identity& id) const {
-  auto it = authoritative_.find(id);
-  if (it == authoritative_.end()) {
-    return Status::NotFound("identity " + id.ToString() + " not provisioned");
-  }
-  return it->second;
-}
-
-void UdrNf::BindEverywhere(const Identity& id, const LocationEntry& entry) {
-  authoritative_[id] = entry;
-  for (auto& c : clusters_) {
-    if (c->location_stage() != nullptr) {
-      (void)c->location_stage()->Bind(id, entry);
-    }
-  }
-}
-
-void UdrNf::UnbindEverywhere(const Identity& id) {
-  authoritative_.erase(id);
-  for (auto& c : clusters_) {
-    if (c->location_stage() != nullptr) {
-      (void)c->location_stage()->Unbind(id);
-    }
-  }
-}
-
-location::ResolveResult UdrNf::Locate(const Identity& id, sim::SiteId poa_site) {
-  BladeCluster* cluster = ClusterAtSite(poa_site);
-  if (cluster == nullptr || cluster->location_stage() == nullptr) {
-    location::ResolveResult out;
-    out.status = Status::Unavailable("no location stage at site " +
-                                     std::to_string(poa_site));
-    return out;
-  }
-  return cluster->location_stage()->Resolve(id, Now());
-}
-
 std::vector<Identity> UdrNf::IdentitiesOfRecord(const Record& record) const {
   std::vector<Identity> out;
   for (const char* attr : {"imsi", "msisdn", "impi"}) {
@@ -253,64 +189,28 @@ std::vector<Identity> UdrNf::IdentitiesOfRecord(const Record& record) const {
 // Subscriber administration
 // ---------------------------------------------------------------------------
 
-StatusOr<uint32_t> UdrNf::PickPartitionForCreate(
-    std::optional<sim::SiteId> home_site) {
-  CommissionPartitions();
-  if (partitions_.empty()) {
-    return Status::FailedPrecondition("no storage deployed in the UDR NF");
-  }
-  int best = -1;
-  if (home_site.has_value()) {
-    // Selective placement (§3.5): pin to a partition whose master copy sits
-    // at the requested site.
-    for (size_t p = 0; p < partitions_.size(); ++p) {
-      if (partitions_[p]->master_site() != *home_site) continue;
-      if (best < 0 ||
-          partition_population_[p] < partition_population_[best]) {
-        best = static_cast<int>(p);
-      }
-    }
-    if (best >= 0) return static_cast<uint32_t>(best);
-    // Fall through to global placement when no partition lives there.
-  }
-  for (size_t p = 0; p < partitions_.size(); ++p) {
-    if (best < 0 || partition_population_[p] < partition_population_[best]) {
-      best = static_cast<int>(p);
-    }
-  }
-  return static_cast<uint32_t>(best);
-}
-
 StatusOr<UdrNf::CreateOutcome> UdrNf::CreateSubscriber(const CreateSpec& spec,
                                                        sim::SiteId origin_site) {
   if (spec.identities.empty()) {
     return Status::InvalidArgument("subscription needs at least one identity");
   }
   for (const Identity& id : spec.identities) {
-    if (authoritative_.count(id) > 0) {
+    if (router_.IsBound(id)) {
       return Status::AlreadyExists("identity " + id.ToString() +
                                    " already provisioned");
     }
   }
-  UDR_ASSIGN_OR_RETURN(uint32_t pidx, PickPartitionForCreate(spec.home_site));
-  ReplicaSet* rs = partitions_[pidx].get();
+  map_.Commission();
+  routing::PlacementRequest preq;
+  preq.home_site = spec.home_site;
+  preq.identity = &spec.identities.front();
+  UDR_ASSIGN_OR_RETURN(uint32_t pidx, placement_->PickPartition(map_, preq));
+  ReplicaSet* rs = map_.partition(pidx);
 
-  // Capacity admission on the primary copy's storage element.
+  // Capacity admission on the primary copy's storage element. (All copies
+  // grow by the same amount; admission uses the primary.)
   int64_t bytes = spec.profile.ApproxBytes();
-  const storage::RecordStore& mstore = rs->replica_store(rs->master_id());
-  (void)mstore;
-  // All copies grow by the same amount; admission uses the primary.
-  // (Each ReplicaSet member may host several partitions on one SE.)
-  storage::StorageElement* primary_se = nullptr;
-  for (auto& ref : all_ses_) {
-    if (&ref.se->store() == &rs->replica_store(rs->master_id())) {
-      primary_se = ref.se;
-      break;
-    }
-  }
-  if (primary_se != nullptr) {
-    UDR_RETURN_IF_ERROR(primary_se->CheckCapacity(bytes));
-  }
+  UDR_RETURN_IF_ERROR(map_.primary_se(pidx)->CheckCapacity(bytes));
 
   storage::RecordKey key = next_key_++;
   WriteBuilder wb;
@@ -325,9 +225,9 @@ StatusOr<UdrNf::CreateOutcome> UdrNf::CreateSubscriber(const CreateSpec& spec,
   entry.key = key;
   entry.partition = pidx;
   for (const Identity& id : spec.identities) {
-    BindEverywhere(id, entry);
+    router_.Bind(id, entry);
   }
-  ++partition_population_[pidx];
+  map_.AddPopulation(pidx, 1);
   ++subscriber_count_;
   metrics_.Add("udr.create.ok");
 
@@ -338,8 +238,8 @@ StatusOr<UdrNf::CreateOutcome> UdrNf::CreateSubscriber(const CreateSpec& spec,
 }
 
 Status UdrNf::DeleteSubscriber(const Identity& id, sim::SiteId origin_site) {
-  UDR_ASSIGN_OR_RETURN(LocationEntry entry, AuthoritativeLookup(id));
-  ReplicaSet* rs = partitions_[entry.partition].get();
+  UDR_ASSIGN_OR_RETURN(LocationEntry entry, router_.AuthoritativeLookup(id));
+  ReplicaSet* rs = map_.partition(entry.partition);
   auto record = rs->ReadRecord(origin_site, entry.key,
                                ReadPreference::kMasterOnly, nullptr);
   if (!record.ok()) return record.status();
@@ -350,10 +250,10 @@ Status UdrNf::DeleteSubscriber(const Identity& id, sim::SiteId origin_site) {
   if (!write.status.ok()) return write.status;
 
   for (const Identity& sub_id : IdentitiesOfRecord(*record)) {
-    UnbindEverywhere(sub_id);
+    router_.Unbind(sub_id);
   }
-  UnbindEverywhere(id);  // Defensive: DN identity may not appear in attrs.
-  --partition_population_[entry.partition];
+  router_.Unbind(id);  // Defensive: DN identity may not appear in attrs.
+  map_.AddPopulation(entry.partition, -1);
   --subscriber_count_;
   metrics_.Add("udr.delete.ok");
   return Status::Ok();
@@ -363,27 +263,8 @@ Status UdrNf::DeleteSubscriber(const Identity& id, sim::SiteId origin_site) {
 // LDAP front door
 // ---------------------------------------------------------------------------
 
-StatusOr<uint32_t> UdrNf::FindPoaCluster(sim::SiteId client_site) const {
-  int best = -1;
-  MicroDuration best_rtt = 0;
-  for (size_t i = 0; i < clusters_.size(); ++i) {
-    sim::SiteId s = clusters_[i]->site();
-    if (!network_->Reachable(client_site, s)) continue;
-    MicroDuration rtt = network_->topology().Rtt(client_site, s);
-    if (best < 0 || rtt < best_rtt) {
-      best = static_cast<int>(i);
-      best_rtt = rtt;
-    }
-  }
-  if (best < 0) {
-    return Status::Unavailable("no reachable Point of Access from site " +
-                               std::to_string(client_site));
-  }
-  return static_cast<uint32_t>(best);
-}
-
 LdapResult UdrNf::Submit(const LdapRequest& request, sim::SiteId client_site) {
-  auto poa = FindPoaCluster(client_site);
+  auto poa = router_.FindPoaCluster(client_site);
   if (!poa.ok()) {
     LdapResult r;
     r.code = LdapResultCode::kUnavailable;
@@ -461,17 +342,16 @@ LdapResult UdrNf::DoSearch(const LdapRequest& request, uint32_t poa_site) {
     r.diagnostic = identity.status().message();
     return r;
   }
-  location::ResolveResult loc = Locate(*identity, poa_site);
-  r.latency += loc.cost;
-  if (!loc.status.ok()) {
-    r.code = StatusToLdapCode(loc.status);
-    r.diagnostic = loc.status.message();
+  RouteResult route = router_.Route(*identity, poa_site);
+  r.latency += route.resolve_cost;
+  if (!route.status.ok()) {
+    r.code = StatusToLdapCode(route.status);
+    r.diagnostic = route.status.message();
     return r;
   }
-  ReplicaSet* rs = partitions_[loc.entry.partition].get();
   replication::ReadResult meta;
   auto record =
-      rs->ReadRecord(poa_site, loc.entry.key, ReadPrefFor(request), &meta);
+      route.rs->ReadRecord(poa_site, route.key, ReadPrefFor(request), &meta);
   r.latency += meta.latency;
   r.stale = meta.stale;
   if (!record.ok()) {
@@ -551,11 +431,11 @@ LdapResult UdrNf::DoModify(const LdapRequest& request, uint32_t poa_site) {
     r.diagnostic = identity.status().message();
     return r;
   }
-  location::ResolveResult loc = Locate(*identity, poa_site);
-  r.latency += loc.cost;
-  if (!loc.status.ok()) {
-    r.code = StatusToLdapCode(loc.status);
-    r.diagnostic = loc.status.message();
+  RouteResult route = router_.Route(*identity, poa_site);
+  r.latency += route.resolve_cost;
+  if (!route.status.ok()) {
+    r.code = StatusToLdapCode(route.status);
+    r.diagnostic = route.status.message();
     return r;
   }
   WriteBuilder wb;
@@ -568,15 +448,15 @@ LdapResult UdrNf::DoModify(const LdapRequest& request, uint32_t poa_site) {
     switch (mod.type) {
       case ldap::ModType::kAdd:
       case ldap::ModType::kReplace:
-        wb.Set(loc.entry.key, mod.attr, mod.value);
+        wb.Set(route.key, mod.attr, mod.value);
         break;
       case ldap::ModType::kDelete:
-        wb.Remove(loc.entry.key, mod.attr);
+        wb.Remove(route.key, mod.attr);
         break;
     }
   }
-  ReplicaSet* rs = partitions_[loc.entry.partition].get();
-  replication::WriteResult write = rs->Write(poa_site, std::move(wb).Build());
+  replication::WriteResult write =
+      route.rs->Write(poa_site, std::move(wb).Build());
   r.latency += write.latency;
   if (!write.status.ok()) {
     r.code = StatusToLdapCode(write.status);
@@ -597,11 +477,11 @@ LdapResult UdrNf::DoDelete(const LdapRequest& request, uint32_t poa_site) {
     r.diagnostic = identity.status().message();
     return r;
   }
-  location::ResolveResult loc = Locate(*identity, poa_site);
-  r.latency += loc.cost;
-  if (!loc.status.ok()) {
-    r.code = StatusToLdapCode(loc.status);
-    r.diagnostic = loc.status.message();
+  RouteResult route = router_.Route(*identity, poa_site);
+  r.latency += route.resolve_cost;
+  if (!route.status.ok()) {
+    r.code = StatusToLdapCode(route.status);
+    r.diagnostic = route.status.message();
     return r;
   }
   Status st = DeleteSubscriber(*identity, poa_site);
@@ -611,11 +491,7 @@ LdapResult UdrNf::DoDelete(const LdapRequest& request, uint32_t poa_site) {
     return r;
   }
   // Latency: one master read + one replicated delete, both at the partition.
-  ReplicaSet* rs = partitions_[loc.entry.partition].get();
-  (void)rs;
-  r.latency += network_->topology().Rtt(poa_site,
-                                        partitions_[loc.entry.partition]
-                                            ->master_site()) +
+  r.latency += network_->topology().Rtt(poa_site, route.rs->master_site()) +
                config_.se_template.write_service_time;
   r.code = LdapResultCode::kSuccess;
   return r;
@@ -629,16 +505,15 @@ LdapResult UdrNf::DoCompare(const LdapRequest& request, uint32_t poa_site) {
     r.diagnostic = identity.status().message();
     return r;
   }
-  location::ResolveResult loc = Locate(*identity, poa_site);
-  r.latency += loc.cost;
-  if (!loc.status.ok()) {
-    r.code = StatusToLdapCode(loc.status);
-    r.diagnostic = loc.status.message();
+  RouteResult route = router_.Route(*identity, poa_site);
+  r.latency += route.resolve_cost;
+  if (!route.status.ok()) {
+    r.code = StatusToLdapCode(route.status);
+    r.diagnostic = route.status.message();
     return r;
   }
-  ReplicaSet* rs = partitions_[loc.entry.partition].get();
-  replication::ReadResult read = rs->ReadAttribute(
-      poa_site, loc.entry.key, request.compare_attr, ReadPrefFor(request));
+  replication::ReadResult read = route.rs->ReadAttribute(
+      poa_site, route.key, request.compare_attr, ReadPrefFor(request));
   r.latency += read.latency;
   r.stale = read.stale;
   if (!read.status.ok()) {
@@ -650,27 +525,6 @@ LdapResult UdrNf::DoCompare(const LdapRequest& request, uint32_t poa_site) {
                ? LdapResultCode::kCompareTrue
                : LdapResultCode::kCompareFalse;
   return r;
-}
-
-// ---------------------------------------------------------------------------
-// Maintenance
-// ---------------------------------------------------------------------------
-
-void UdrNf::CatchUpAllPartitions() {
-  for (auto& p : partitions_) p->CatchUpAll();
-}
-
-replication::RestorationReport UdrNf::RestoreAllPartitions() {
-  replication::RestorationReport agg;
-  for (auto& p : partitions_) {
-    replication::RestorationReport r = p->RestoreConsistency();
-    agg.divergent_entries += r.divergent_entries;
-    agg.applied_ops += r.applied_ops;
-    agg.conflicting_ops += r.conflicting_ops;
-    agg.dropped_ops += r.dropped_ops;
-    agg.manual_ops += r.manual_ops;
-  }
-  return agg;
 }
 
 }  // namespace udr::udrnf

@@ -1,20 +1,21 @@
 // UdrNf: the complete User Data Repository network function (paper §2.3).
 //
-// Composition:
+// Composition — a layered data path:
 //   * blade clusters at geographic sites (scale-out unit), each with storage
 //     elements, stateless LDAP servers behind an L4 balancer (the PoA), and
 //     a data location stage instance;
-//   * data partitions: every SE holds the primary copy of one partition and
-//     secondary copies of other partitions (paper Figure 2), coordinated by
-//     replication::ReplicaSet;
+//   * routing::PartitionMap — partition -> replica-set assignment,
+//     commissioning, population accounting and live rebalancing;
+//   * routing::PlacementPolicy — where a new subscription's primary copy
+//     goes (least-loaded, round-robin, hash, selective/home-site §3.5);
+//   * routing::Router — PoA selection, identity resolution and the hop to
+//     the owning replication::ReplicaSet;
 //   * the northbound LDAP interface (UDC-mandated), implemented by this
-//     class as an ldap::LdapBackend;
-//   * placement: subscribers are assigned to partitions round-robin, or
-//     pinned near their home region via selective placement (§3.5).
+//     class as an ldap::LdapBackend over the router.
 //
-// The class also exposes the internal administration surface the
-// Provisioning System and benchmark harness need: subscriber create/delete,
-// scale-out, partition access, failover and consistency restoration.
+// UdrNf itself is deployment orchestration (AddCluster / Rebalance /
+// maintenance fan-out) plus the LDAP verb adapter; all placement and
+// partition-selection logic lives in src/routing/.
 
 #ifndef UDR_UDR_UDR_NF_H_
 #define UDR_UDR_UDR_NF_H_
@@ -22,7 +23,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -31,6 +31,9 @@
 #include "location/identity.h"
 #include "location/location_stage.h"
 #include "replication/replica_set.h"
+#include "routing/partition_map.h"
+#include "routing/placement_policy.h"
+#include "routing/router.h"
 #include "sim/network.h"
 #include "udr/blade_cluster.h"
 
@@ -56,6 +59,11 @@ struct UdrConfig {
   LocationKind location_kind = LocationKind::kProvisioned;
   int se_per_cluster = 2;
   int ldap_per_cluster = 2;
+  /// Partitions commissioned per storage element; > 1 gives the rebalancer
+  /// finer-grained migration units on scale-out.
+  int partitions_per_se = 1;
+  /// Fallback placement policy under selective placement.
+  routing::PlacementKind placement = routing::PlacementKind::kLeastLoaded;
   storage::StorageElementConfig se_template;
   ldap::LdapServerConfig ldap_template;
   location::LocationCostModel location_model;
@@ -72,6 +80,9 @@ class UdrNf : public ldap::LdapBackend {
   MicroTime Now() const { return network_->Now(); }
   Metrics& metrics() { return metrics_; }
 
+  routing::PartitionMap& partition_map() { return map_; }
+  routing::Router& router() { return router_; }
+
   // -- Deployment / scale-out (§3.4) -------------------------------------------
 
   /// Deploys a new blade cluster at `site` with the configured number of SEs
@@ -80,18 +91,23 @@ class UdrNf : public ldap::LdapBackend {
   /// serve.
   StatusOr<BladeCluster*> AddCluster(sim::SiteId site);
 
-  /// Creates replica sets for any storage element that does not yet host a
-  /// primary partition copy. Called lazily by CreateSubscriber; call
-  /// explicitly after initial deployment for deterministic layouts.
-  void CommissionPartitions();
+  /// Creates replica sets until every storage element primary-hosts the
+  /// configured number of partitions. Called lazily by CreateSubscriber;
+  /// call explicitly after initial deployment for deterministic layouts.
+  void CommissionPartitions() { map_.Commission(); }
+
+  /// Live rebalancing after scale-out: migrates primary copies onto
+  /// under-loaded storage elements (per-SE primary-count spread <= 1) via
+  /// the commit-log resync machinery. No acknowledged write is lost.
+  StatusOr<routing::RebalanceReport> Rebalance();
 
   size_t cluster_count() const { return clusters_.size(); }
   BladeCluster* cluster(uint32_t id) { return clusters_[id].get(); }
   /// Cluster whose PoA serves `site`, nullptr when none is deployed there.
   BladeCluster* ClusterAtSite(sim::SiteId site);
 
-  size_t partition_count() const { return partitions_.size(); }
-  replication::ReplicaSet* partition(uint32_t id) { return partitions_[id].get(); }
+  size_t partition_count() const { return map_.partition_count(); }
+  replication::ReplicaSet* partition(uint32_t id) { return map_.partition(id); }
 
   int TotalStorageElements() const;
   int64_t TotalLdapOpsPerSecond() const;
@@ -127,8 +143,9 @@ class UdrNf : public ldap::LdapBackend {
     replication::WriteResult write;
   };
 
-  /// Creates a subscription: places the record, writes the profile through
-  /// the replication layer and provisions the identity-location maps.
+  /// Creates a subscription: places the record via the placement policy,
+  /// writes the profile through the replication layer and provisions the
+  /// identity-location maps.
   StatusOr<CreateOutcome> CreateSubscriber(const CreateSpec& spec,
                                            sim::SiteId origin_site);
 
@@ -138,38 +155,32 @@ class UdrNf : public ldap::LdapBackend {
   /// Resolves an identity at the location stage local to `poa_site`
   /// (§3.3.1 decision 1: resolution never leaves the PoA).
   location::ResolveResult Locate(const location::Identity& id,
-                                 sim::SiteId poa_site);
+                                 sim::SiteId poa_site) {
+    return router_.ResolveAt(id, poa_site);
+  }
 
   /// Authoritative identity lookup (what a broadcast over all SEs returns).
   StatusOr<location::LocationEntry> AuthoritativeLookup(
-      const location::Identity& id) const;
+      const location::Identity& id) const {
+    return router_.AuthoritativeLookup(id);
+  }
 
   // -- Maintenance ------------------------------------------------------------------
 
   /// Lets every slave copy apply all deliverable replication entries.
-  void CatchUpAllPartitions();
+  void CatchUpAllPartitions() { map_.CatchUpAll(); }
 
   /// Runs the §5 consistency-restoration process on every partition,
   /// aggregating the merge report.
-  replication::RestorationReport RestoreAllPartitions();
+  replication::RestorationReport RestoreAllPartitions() {
+    return map_.RestoreAll();
+  }
 
  private:
-  struct SeRef {
-    storage::StorageElement* se = nullptr;
-    uint32_t cluster = 0;
-    int secondary_load = 0;   ///< Secondary copies hosted.
-    bool has_partition = false;
-  };
-
   static bool IsIdentityAttr(const std::string& attr);
   static std::optional<location::IdentityType> IdentityTypeForAttr(
       const std::string& attr);
 
-  StatusOr<uint32_t> FindPoaCluster(sim::SiteId client_site) const;
-  StatusOr<uint32_t> PickPartitionForCreate(std::optional<sim::SiteId> home_site);
-  void BindEverywhere(const location::Identity& id,
-                      const location::LocationEntry& entry);
-  void UnbindEverywhere(const location::Identity& id);
   std::vector<location::Identity> IdentitiesOfRecord(
       const storage::Record& record) const;
   std::unique_ptr<location::LocationStage> MakeLocationStage();
@@ -190,14 +201,11 @@ class UdrNf : public ldap::LdapBackend {
   sim::Network* network_;
   Metrics metrics_;
 
-  std::vector<std::unique_ptr<BladeCluster>> clusters_;
-  std::vector<std::unique_ptr<replication::ReplicaSet>> partitions_;
-  std::vector<SeRef> all_ses_;
-  std::vector<int64_t> partition_population_;
+  routing::PartitionMap map_;
+  routing::Router router_;
+  std::unique_ptr<routing::PlacementPolicy> placement_;
 
-  std::unordered_map<location::Identity, location::LocationEntry,
-                     location::IdentityHasher>
-      authoritative_;
+  std::vector<std::unique_ptr<BladeCluster>> clusters_;
   storage::RecordKey next_key_ = 1;
   int64_t subscriber_count_ = 0;
 };

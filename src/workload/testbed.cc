@@ -20,6 +20,12 @@ Testbed::Testbed(TestbedOptions opts)
   }
 }
 
+StatusOr<routing::RebalanceReport> Testbed::ScaleOut(sim::SiteId site) {
+  auto cluster = udr_->AddCluster(site);
+  if (!cluster.ok()) return cluster.status();
+  return udr_->Rebalance();
+}
+
 int64_t Testbed::ProvisionDirect(uint64_t first, int64_t count) {
   int64_t created = 0;
   for (int64_t i = 0; i < count; ++i) {

@@ -51,6 +51,11 @@ class Testbed {
   /// Returns the number actually created.
   int64_t ProvisionDirect(uint64_t first, int64_t count);
 
+  /// Scale-out: deploys a new blade cluster at `site` and rebalances primary
+  /// copies onto its storage elements (per-SE primary-count spread <= 1, no
+  /// acknowledged write lost). Returns the migration report.
+  StatusOr<routing::RebalanceReport> ScaleOut(sim::SiteId site);
+
  private:
   TestbedOptions opts_;
   sim::SimClock clock_;

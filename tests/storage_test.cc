@@ -106,6 +106,29 @@ TEST(RecordStoreTest, ByteAccountingTracksMutations) {
   EXPECT_EQ(s.ApproxBytes(), 0);
 }
 
+TEST(RecordStoreTest, MutateRecordKeepsByteAccountingInSync) {
+  RecordStore s;
+  s.SetAttribute(1, "a", int64_t{1}, 0, 0);
+  int64_t small = s.ApproxBytes();
+  // Grow the record behind the store's back — the scoped re-accounting in
+  // MutateRecord must still see the delta.
+  ASSERT_TRUE(s.MutateRecord(
+      1, [](Record& r) { r.Set("blob", std::string(1000, 'x'), 1, 0); }));
+  EXPECT_GT(s.ApproxBytes(), small + 1000);
+  ASSERT_TRUE(s.MutateRecord(1, [](Record& r) { r.Remove("blob"); }));
+  EXPECT_EQ(s.ApproxBytes(), small);
+  // Absent key: fn not invoked, false returned.
+  EXPECT_FALSE(s.MutateRecord(99, [](Record&) { FAIL(); }));
+}
+
+TEST(RecordStoreTest, MutateRecordBumpsVersion) {
+  RecordStore s;
+  s.SetAttribute(1, "a", int64_t{1}, 0, 0);
+  uint64_t v = s.Find(1)->version();
+  ASSERT_TRUE(s.MutateRecord(1, [](Record& r) { r.Set("b", int64_t{2}, 1, 0); }));
+  EXPECT_GT(s.Find(1)->version(), v);
+}
+
 TEST(RecordStoreTest, DeleteRecord) {
   RecordStore s;
   s.SetAttribute(1, "a", int64_t{1}, 0, 0);
