@@ -138,6 +138,34 @@ void PrintScaleoutTables() {
                bed.udr().SubscriberCount() == 2'000 ? "PASS" : "FAIL"});
   }
   t5.Print();
+
+  Table t6("E9f: population-weighted rebalancing (all subscribers pinned to "
+           "site 0; primary counts start balanced, population does not)",
+           {"weight mode", "pop spread before", "pop spread after", "moves",
+            "bytes moved", "migration time"});
+  for (auto weight : {routing::RebalanceWeight::kPrimaryCount,
+                      routing::RebalanceWeight::kPopulation}) {
+    workload::TestbedOptions o;
+    o.sites = 3;
+    o.udr.partitions_per_se = 2;
+    o.udr.rebalance_weight = weight;
+    workload::Testbed bed(o);
+    for (uint64_t i = 0; i < 3'000; ++i) {
+      auto spec = bed.factory().MakeSpec(i, sim::SiteId{0});
+      (void)bed.udr().CreateSubscriber(spec, 0);
+    }
+    auto report = bed.udr().Rebalance();
+    if (!report.ok()) continue;
+    t6.AddRow({weight == routing::RebalanceWeight::kPopulation
+                   ? "population"
+                   : "primary count",
+               Table::Num(report->population_spread_before),
+               Table::Num(report->population_spread_after),
+               Table::Num(static_cast<int64_t>(report->moves.size())),
+               Table::Bytes(report->bytes_moved),
+               Table::Dur(report->duration)});
+  }
+  t6.Print();
 }
 
 void BM_ScaleOutCluster(benchmark::State& state) {

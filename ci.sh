@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (build + ctest) followed by an ASan/UBSan
-# build of the test suite. Usage: ./ci.sh [--skip-sanitizers]
+# CI entry point: tier-1 verify (build + ctest), a Release (-O2) build that
+# smoke-runs every benchmark (1 timing iteration + the self-checking tables,
+# so benches can't silently rot), and an ASan/UBSan build of the test suite.
+# Usage: ./ci.sh [--skip-sanitizers]
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -12,6 +14,35 @@ cmake --build build -j "${JOBS}"
 
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "== Release (-O2): configure + build benches =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "${JOBS}"
+
+echo "== Release: benchmark smoke (1 iteration each) =="
+bench_failed=0
+for bench in build-release/bench/bench_*; do
+  [[ -x "${bench}" ]] || continue
+  echo "-- ${bench}"
+  out="$("${bench}" --benchmark_min_time=0 2>&1)" || {
+    echo "${out}"
+    echo "SMOKE FAILED: ${bench} exited non-zero"
+    bench_failed=1
+    continue
+  }
+  # The tables are self-checking: any FAIL row is a regression even when the
+  # binary exits 0.
+  if grep -q " FAIL " <<< "${out}"; then
+    echo "${out}" | grep -B2 -A2 " FAIL "
+    echo "SMOKE FAILED: ${bench} printed a FAIL row"
+    bench_failed=1
+  fi
+done
+if [[ "${bench_failed}" != 0 ]]; then
+  echo "== benchmark smoke: FAILED =="
+  exit 1
+fi
+echo "== benchmark smoke: all green =="
 
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   echo "== sanitizers skipped =="

@@ -48,6 +48,18 @@ const char* LdapResultCodeName(LdapResultCode code) {
   return "?";
 }
 
+LdapBatchResult LdapBackend::ProcessBatch(
+    const std::vector<LdapRequest>& requests, uint32_t client_site) {
+  LdapBatchResult out;
+  out.results.reserve(requests.size());
+  for (const LdapRequest& req : requests) {
+    LdapResult r = Process(req, client_site);
+    out.latency += r.latency;
+    out.results.push_back(std::move(r));
+  }
+  return out;
+}
+
 LdapResultCode StatusToLdapCode(const Status& status) {
   switch (status.code()) {
     case StatusCode::kOk:

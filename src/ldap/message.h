@@ -99,6 +99,31 @@ struct LdapResult {
   }
 };
 
+/// Response to a multi-op request (one signaling event's worth of LDAP ops
+/// shipped as a single northbound message, paper §2.2).
+struct LdapBatchResult {
+  std::vector<LdapResult> results;  ///< 1:1 with the submitted requests.
+  /// Modelled end-to-end latency of the whole batch (one client round trip;
+  /// per-result latencies carry only each op's own service share).
+  MicroDuration latency = 0;
+  int partition_groups = 0;  ///< Partition fan-out of the batch dispatch.
+  int bypass_hits = 0;       ///< Ops served by the hash-routed fast path.
+
+  bool ok() const {
+    for (const LdapResult& r : results) {
+      if (!r.ok()) return false;
+    }
+    return true;
+  }
+  int failed_ops() const {
+    int n = 0;
+    for (const LdapResult& r : results) {
+      if (!r.ok()) ++n;
+    }
+    return n;
+  }
+};
+
 /// Interface implemented by the UDR data path; the stateless LDAP server
 /// farm delegates request semantics here.
 class LdapBackend {
@@ -107,6 +132,12 @@ class LdapBackend {
   /// Processes one request originating at `client_site`.
   virtual LdapResult Process(const LdapRequest& request,
                              uint32_t client_site) = 0;
+
+  /// Processes a multi-op request. The default realization degrades to
+  /// sequential per-op Process calls (no batching gain); the UDR data path
+  /// overrides it with the staged batch pipeline.
+  virtual LdapBatchResult ProcessBatch(const std::vector<LdapRequest>& requests,
+                                       uint32_t client_site);
 };
 
 }  // namespace udr::ldap

@@ -49,6 +49,16 @@ class LdapServer {
     return result;
   }
 
+  /// Serves one multi-op request: per-op protocol cost, one backend batch.
+  LdapBatchResult ServeBatch(const std::vector<LdapRequest>& requests,
+                             sim::SiteId client_site) {
+    LdapBatchResult result = backend_->ProcessBatch(requests, client_site);
+    result.latency +=
+        config_.per_op_cost * static_cast<int64_t>(requests.size());
+    ops_served_ += static_cast<int64_t>(requests.size());
+    return result;
+  }
+
   int64_t ops_served() const { return ops_served_; }
 
   /// Advertised capacity in operations per second (1 / per_op_cost).
@@ -108,6 +118,23 @@ class L4Balancer {
       return r;
     }
     return (*picked)->Serve(request, client_site);
+  }
+
+  /// Serves a whole multi-op request through one server (the batch is one
+  /// protocol message; splitting it would forfeit the grouped dispatch).
+  LdapBatchResult ServeBatch(const std::vector<LdapRequest>& requests,
+                             sim::SiteId client_site) {
+    auto picked = Pick();
+    if (!picked.ok()) {
+      LdapBatchResult out;
+      out.results.resize(requests.size());
+      for (LdapResult& r : out.results) {
+        r.code = LdapResultCode::kUnavailable;
+        r.diagnostic = picked.status().message();
+      }
+      return out;
+    }
+    return (*picked)->ServeBatch(requests, client_site);
   }
 
   /// Aggregate ops/s capacity of the healthy servers.

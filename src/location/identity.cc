@@ -22,6 +22,15 @@ uint64_t HashIdentity(const Identity& id) {
   for (unsigned char c : id.value) {
     h = (h ^ c) * 1099511628211ULL;
   }
+  // FNV-1a avalanches poorly in the high bits, and ring ownership compares
+  // full 64-bit values: sequential numbering-plan identities (IMSI blocks
+  // differing only in trailing digits) would otherwise cluster on one ring
+  // arc and land on 1-2 partitions. Finish with a splitmix64-style mixer.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
   return h;
 }
 

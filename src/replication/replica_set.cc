@@ -168,6 +168,15 @@ bool ReplicaSet::WriteDivergedNearest(sim::SiteId client_site,
 
 WriteResult ReplicaSet::WriteOnMaster(sim::SiteId client_site,
                                       std::vector<WriteOp> ops) {
+  WriteResult out = CommitOnMaster(std::move(ops));
+  if (out.status.ok()) {
+    out.latency += network_->topology().Rtt(client_site, master_site()) +
+                   network_->topology().HopOverhead();
+  }
+  return out;
+}
+
+WriteResult ReplicaSet::CommitOnMaster(std::vector<WriteOp> ops) {
   WriteResult out;
   Replica& master = replicas_[master_];
   const MicroTime now = Now();
@@ -207,9 +216,7 @@ WriteResult ReplicaSet::WriteOnMaster(sim::SiteId client_site,
   CommitSeq seq = log_.Append(now, master_, std::move(ops));
   master.applied = seq;
 
-  MicroDuration latency = network_->topology().Rtt(client_site, master_site()) +
-                          network_->topology().HopOverhead() +
-                          master.se->WriteServiceTime(std::max(op_count, 1));
+  MicroDuration latency = master.se->WriteServiceTime(std::max(op_count, 1));
 
   MicroDuration sync_extra = 0;
   bool degraded = false;
@@ -226,6 +233,51 @@ WriteResult ReplicaSet::WriteOnMaster(sim::SiteId client_site,
   out.latency = latency;
   out.seq = seq;
   out.served_by = master_;
+  return out;
+}
+
+GroupWriteResult ReplicaSet::WriteBatch(
+    sim::SiteId client_site, std::vector<std::vector<WriteOp>> txns) {
+  GroupWriteResult out;
+  out.per_op.reserve(txns.size());
+  if (txns.empty()) {
+    out.status = Status::Ok();
+    return out;
+  }
+
+  // Group admission: the fast path needs a cleanly writable master. Anything
+  // else (failover pending, client partitioned, AP divergence) falls back to
+  // the per-transaction Write path, which owns those semantics.
+  bool master_path = replicas_[master_].up;
+  if (!replicas_[master_].up &&
+      Now() >= replicas_[master_].down_since + config_.failover_detection) {
+    master_path = FailOver().ok();
+  }
+  if (master_path && !network_->Reachable(client_site, master_site())) {
+    master_path = false;
+  }
+  if (!master_path) {
+    for (auto& ops : txns) {
+      WriteResult r = Write(client_site, std::move(ops));
+      out.latency += r.latency;
+      if (out.status.ok() && !r.status.ok()) out.status = r.status;
+      out.per_op.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  // One log-append window: every transaction commits back-to-back on the
+  // master copy; the group pays a single client<->master transit.
+  out.transit = network_->topology().Rtt(client_site, master_site()) +
+                network_->topology().HopOverhead();
+  out.latency = out.transit;
+  out.status = Status::Ok();
+  for (auto& ops : txns) {
+    WriteResult r = CommitOnMaster(std::move(ops));
+    out.latency += r.latency;
+    if (out.status.ok() && !r.status.ok()) out.status = r.status;
+    out.per_op.push_back(std::move(r));
+  }
   return out;
 }
 
@@ -347,22 +399,11 @@ StatusOr<uint32_t> ReplicaSet::PickReadReplica(sim::SiteId client_site,
   return static_cast<uint32_t>(best);
 }
 
-ReadResult ReplicaSet::ReadAttribute(sim::SiteId client_site, RecordKey key,
-                                     const std::string& attr,
-                                     ReadPreference pref) {
-  ReadResult out;
-  auto picked = PickReadReplica(client_site, pref);
-  if (!picked.ok()) {
-    out.status = picked.status();
-    out.latency = network_->rpc_timeout();
-    return out;
-  }
-  uint32_t id = *picked;
-  CatchUp(id);
+void ReplicaSet::ReadAttrOn(uint32_t id, RecordKey key, const std::string& attr,
+                            ReadResult* out) {
   Replica& r = replicas_[id];
-  out.served_by = id;
-  out.latency = network_->topology().Rtt(client_site, r.se->site()) +
-                network_->topology().HopOverhead() + r.se->ReadServiceTime();
+  out->served_by = id;
+  out->latency += r.se->ReadServiceTime();
   ++reads_served_;
 
   const Record* rec = r.se->store().Find(key);
@@ -377,17 +418,56 @@ ReadResult ReplicaSet::ReadAttribute(sim::SiteId client_site, RecordKey key,
                    (a != nullptr && ma != nullptr &&
                     !storage::ValueEquals(a->value, ma->value));
     if (differs) {
-      out.stale = true;
+      out->stale = true;
       ++stale_reads_;
     }
   }
 
   if (a == nullptr) {
-    out.status = Status::NotFound("attribute " + attr);
+    out->status = Status::NotFound("attribute " + attr);
+    return;
+  }
+  out->status = Status::Ok();
+  out->value = a->value;
+}
+
+const Record* ReplicaSet::ReadRecordOn(uint32_t id, RecordKey key,
+                                       ReadResult* meta) {
+  Replica& r = replicas_[id];
+  ++reads_served_;
+  if (meta != nullptr) {
+    meta->served_by = id;
+    meta->latency += r.se->ReadServiceTime();
+    meta->status = Status::Ok();
+    if (id != master_ && replicas_[master_].up) {
+      const Record* mine = r.se->store().Find(key);
+      const Record* mrec = replicas_[master_].se->store().Find(key);
+      bool differs = (mine == nullptr) != (mrec == nullptr) ||
+                     (mine != nullptr && mrec != nullptr && !(*mine == *mrec));
+      if (differs) {
+        meta->stale = true;
+        ++stale_reads_;
+      }
+    }
+  }
+  return r.se->store().Find(key);
+}
+
+ReadResult ReplicaSet::ReadAttribute(sim::SiteId client_site, RecordKey key,
+                                     const std::string& attr,
+                                     ReadPreference pref) {
+  ReadResult out;
+  auto picked = PickReadReplica(client_site, pref);
+  if (!picked.ok()) {
+    out.status = picked.status();
+    out.latency = network_->rpc_timeout();
     return out;
   }
-  out.status = Status::Ok();
-  out.value = a->value;
+  uint32_t id = *picked;
+  CatchUp(id);
+  out.latency = network_->topology().Rtt(client_site, replica_site(id)) +
+                network_->topology().HopOverhead();
+  ReadAttrOn(id, key, attr, &out);
   return out;
 }
 
@@ -403,27 +483,53 @@ StatusOr<Record> ReplicaSet::ReadRecord(sim::SiteId client_site, RecordKey key,
   }
   uint32_t id = *picked;
   CatchUp(id);
-  Replica& r = replicas_[id];
-  ++reads_served_;
   if (meta != nullptr) {
-    meta->served_by = id;
-    meta->latency = network_->topology().Rtt(client_site, r.se->site()) +
-                    network_->topology().HopOverhead() + r.se->ReadServiceTime();
-    meta->status = Status::Ok();
-    if (id != master_ && replicas_[master_].up) {
-      const Record* mine = r.se->store().Find(key);
-      const Record* mrec = replicas_[master_].se->store().Find(key);
-      bool differs = (mine == nullptr) != (mrec == nullptr) ||
-                     (mine != nullptr && mrec != nullptr && !(*mine == *mrec));
-      if (differs) {
-        meta->stale = true;
-        ++stale_reads_;
-      }
-    }
+    meta->latency = network_->topology().Rtt(client_site, replica_site(id)) +
+                    network_->topology().HopOverhead();
   }
-  const Record* rec = r.se->store().Find(key);
+  const Record* rec = ReadRecordOn(id, key, meta);
   if (rec == nullptr) return Status::NotFound("record " + std::to_string(key));
   return *rec;
+}
+
+GroupReadResult ReplicaSet::ReadBatch(sim::SiteId client_site,
+                                      const std::vector<BatchReadOp>& ops) {
+  GroupReadResult out;
+  out.per_op.resize(ops.size());
+  out.records.resize(ops.size());
+  MicroDuration slowest_transit = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    ReadResult& meta = out.per_op[i];
+    auto picked = PickReadReplica(client_site, ops[i].pref);
+    if (!picked.ok()) {
+      // Per-op isolation: this op fails, the group goes on. Its (timed-out)
+      // probe overlaps the group fan-out.
+      meta.status = picked.status();
+      slowest_transit = std::max(slowest_transit, network_->rpc_timeout());
+      continue;
+    }
+    uint32_t id = *picked;
+    CatchUp(id);
+    slowest_transit = std::max(
+        slowest_transit,
+        network_->topology().Rtt(client_site, replica_site(id)) +
+            network_->topology().HopOverhead());
+    if (ops[i].attr.empty()) {
+      const Record* rec = ReadRecordOn(id, ops[i].key, &meta);
+      if (rec == nullptr) {
+        meta.status =
+            Status::NotFound("record " + std::to_string(ops[i].key));
+      } else {
+        out.records[i] = *rec;
+      }
+    } else {
+      ReadAttrOn(id, ops[i].key, ops[i].attr, &meta);
+    }
+    out.latency += meta.latency;
+  }
+  out.transit = slowest_transit;
+  out.latency += slowest_transit;
+  return out;
 }
 
 void ReplicaSet::CrashReplica(uint32_t id) {

@@ -96,6 +96,35 @@ struct ReadResult {
   uint32_t served_by = 0; ///< Replica that served the read.
 };
 
+/// One read of a grouped (batched) partition dispatch.
+struct BatchReadOp {
+  storage::RecordKey key = 0;
+  std::string attr;  ///< Empty: whole-record snapshot.
+  ReadPreference pref = ReadPreference::kNearest;
+};
+
+/// Outcome of a grouped write: the partition-group commits as one log-append
+/// window — one client<->master transit for the whole group instead of one
+/// per transaction. Each inner transaction still appends its own log entry
+/// (per-key serialization order is preserved) and fails in isolation.
+struct GroupWriteResult {
+  Status status;  ///< Group admission; first per-op failure otherwise.
+  std::vector<WriteResult> per_op;  ///< Latency = engine + sync share only.
+  MicroDuration latency = 0;  ///< One transit + summed commit service times.
+  MicroDuration transit = 0;  ///< The client<->master share of `latency`.
+};
+
+/// Outcome of a grouped read: replicas are probed in one fan-out (transit
+/// charged once per group, not once per op).
+struct GroupReadResult {
+  std::vector<ReadResult> per_op;  ///< Latency = engine service share only.
+  /// Whole-record payloads, index-aligned with per_op (ops with a non-empty
+  /// attr leave their slot empty and fill per_op[i].value instead).
+  std::vector<std::optional<storage::Record>> records;
+  MicroDuration latency = 0;  ///< Slowest replica transit + summed service.
+  MicroDuration transit = 0;  ///< The slowest-replica share of `latency`.
+};
+
 /// Result of a master failover.
 struct FailoverReport {
   uint32_t old_master = 0;
@@ -154,6 +183,22 @@ class ReplicaSet {
   /// Executes a write transaction (a batch of ops applied atomically) from a
   /// client at `client_site`, honoring sync and partition modes.
   WriteResult Write(sim::SiteId client_site, std::vector<storage::WriteOp> ops);
+
+  /// Executes a group of write transactions as one log-append window: group
+  /// admission (failover, reachability, CAP stance) is checked once, each
+  /// transaction commits its own log entry in order, and the group pays a
+  /// single client<->master transit. When the master path is not cleanly
+  /// writable (failover pending, client partitioned) the group degrades to
+  /// the per-transaction Write path, keeping its semantics.
+  GroupWriteResult WriteBatch(sim::SiteId client_site,
+                              std::vector<std::vector<storage::WriteOp>> txns);
+
+  /// Executes a group of reads in one fan-out: each op picks its replica per
+  /// its own preference, transit is charged once per group (slowest replica),
+  /// and each op pays only its engine service time on top. Per-op failures
+  /// (e.g. master-only with the master partitioned) do not poison the group.
+  GroupReadResult ReadBatch(sim::SiteId client_site,
+                            const std::vector<BatchReadOp>& ops);
 
   /// Reads one attribute according to the read preference.
   ReadResult ReadAttribute(sim::SiteId client_site, storage::RecordKey key,
@@ -245,6 +290,21 @@ class ReplicaSet {
   /// Executes a write on the master copy (assumes reachability was checked).
   WriteResult WriteOnMaster(sim::SiteId client_site,
                             std::vector<storage::WriteOp> ops);
+
+  /// Commits one transaction on the master copy. Latency covers the engine
+  /// service time and synchronous replication only — the caller adds the
+  /// client transit (once per op, or once per group for WriteBatch).
+  WriteResult CommitOnMaster(std::vector<storage::WriteOp> ops);
+
+  /// Reads one attribute on replica `id` (already caught up); accounts the
+  /// engine service time, staleness and payload into `out`. No transit.
+  void ReadAttrOn(uint32_t id, storage::RecordKey key, const std::string& attr,
+                  ReadResult* out);
+
+  /// Whole-record counterpart of ReadAttrOn; returns the store's record (or
+  /// nullptr) and fills `meta` when non-null.
+  const storage::Record* ReadRecordOn(uint32_t id, storage::RecordKey key,
+                                      ReadResult* meta);
 
   /// Executes a divergent write on a reachable non-master replica (AP mode).
   WriteResult WriteDiverged(sim::SiteId client_site, uint32_t id,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <string>
 
 namespace udr::routing {
@@ -115,12 +116,57 @@ int PartitionMap::PrimarySpread() const {
   return *mx - *mn;
 }
 
-StatusOr<RebalanceReport> PartitionMap::Rebalance() {
-  RebalanceReport report;
-  report.spread_before = PrimarySpread();
-  report.spread_after = report.spread_before;
-  if (partitions_.empty()) return report;
+std::vector<int64_t> PartitionMap::PopulationPerSe() const {
+  std::vector<int64_t> pops(ses_.size(), 0);
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    const ReplicaSet* rs = partitions_[p].get();
+    int idx = IndexOfSe(rs->replica_se(rs->master_id()));
+    if (idx >= 0) pops[idx] += population_[p];
+  }
+  return pops;
+}
 
+int64_t PartitionMap::PopulationSpread() const {
+  if (ses_.empty() || partitions_.empty()) return 0;
+  std::vector<int64_t> pops = PopulationPerSe();
+  auto [mn, mx] = std::minmax_element(pops.begin(), pops.end());
+  return *mx - *mn;
+}
+
+Status PartitionMap::MovePrimary(size_t partition, size_t to_idx,
+                                 RebalanceReport* report) {
+  ReplicaSet* rs = partitions_[partition].get();
+  size_t from_idx =
+      static_cast<size_t>(IndexOfSe(rs->replica_se(rs->master_id())));
+  sim::SiteId from_site = rs->master_site();
+  auto migration = rs->MigratePrimaryTo(ses_[to_idx].se);
+  if (!migration.ok()) return migration.status();
+
+  // Secondary-load bookkeeping: a promoted secondary frees its slot on the
+  // target and the demoted primary now hosts a secondary copy.
+  if (migration->promoted_existing) {
+    --ses_[to_idx].secondary_load;
+    ++ses_[from_idx].secondary_load;
+  }
+  // A received primary counts toward the target's commissioning quota; the
+  // donor keeps its quota so a later lazy Commission() never re-creates
+  // partitions on the SEs this pass just drained (which would churn the
+  // ring and undo the balance the migration paid for).
+  ++ses_[to_idx].commissioned;
+
+  PartitionMove move;
+  move.partition = static_cast<uint32_t>(partition);
+  move.from_site = from_site;
+  move.to_site = ses_[to_idx].se->site();
+  move.migration = *migration;
+  report->entries_replayed += migration->entries_replayed;
+  report->bytes_moved += migration->bytes_moved;
+  report->duration += migration->duration;
+  report->moves.push_back(std::move(move));
+  return Status::Ok();
+}
+
+Status PartitionMap::RebalanceByPrimaryCount(RebalanceReport* report) {
   // Greedy: repeatedly move the cheapest primary (smallest population) off
   // the most-loaded SE onto the least-loaded one. Each move shrinks the
   // imbalance, so the loop terminates.
@@ -145,35 +191,66 @@ StatusOr<RebalanceReport> PartitionMap::Rebalance() {
       }
     }
     if (best < 0) break;  // Defensive: counts said otherwise.
+    UDR_RETURN_IF_ERROR(
+        MovePrimary(static_cast<size_t>(best), min_i, report));
+  }
+  return Status::Ok();
+}
 
-    ReplicaSet* rs = partitions_[best].get();
-    sim::SiteId from_site = rs->master_site();
-    auto migration = rs->MigratePrimaryTo(ses_[min_i].se);
-    if (!migration.ok()) return migration.status();
-
-    // Secondary-load bookkeeping: a promoted secondary frees its slot on the
-    // target and the demoted primary now hosts a secondary copy.
-    if (migration->promoted_existing) {
-      --ses_[min_i].secondary_load;
-      ++ses_[max_i].secondary_load;
+Status PartitionMap::RebalanceByPopulation(RebalanceReport* report) {
+  // Greedy: move a primary from the most- to the least-populated SE when a
+  // candidate strictly shrinks their gap (0 < population < gap), preferring
+  // the one closest to half the gap. Each move strictly decreases the sum of
+  // squared per-SE populations, so the loop terminates; the cap is defensive.
+  const size_t max_moves = 4 * partitions_.size() + 8;
+  while (report->moves.size() < max_moves) {
+    std::vector<int64_t> pops = PopulationPerSe();
+    size_t max_i = 0, min_i = 0;
+    for (size_t i = 1; i < pops.size(); ++i) {
+      if (pops[i] > pops[max_i]) max_i = i;
+      if (pops[i] < pops[min_i]) min_i = i;
     }
-    // A received primary counts toward the target's commissioning quota; the
-    // donor keeps its quota so a later lazy Commission() never re-creates
-    // partitions on the SEs this pass just drained (which would churn the
-    // ring and undo the balance the migration paid for).
-    ++ses_[min_i].commissioned;
+    int64_t gap = pops[max_i] - pops[min_i];
+    if (gap <= 0) break;
 
-    PartitionMove move;
-    move.partition = static_cast<uint32_t>(best);
-    move.from_site = from_site;
-    move.to_site = ses_[min_i].se->site();
-    move.migration = *migration;
-    report.entries_replayed += migration->entries_replayed;
-    report.bytes_moved += migration->bytes_moved;
-    report.duration += migration->duration;
-    report.moves.push_back(std::move(move));
+    int best = -1;
+    int64_t best_off_center = 0;
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      ReplicaSet* rs = partitions_[p].get();
+      if (IndexOfSe(rs->replica_se(rs->master_id())) !=
+          static_cast<int>(max_i)) {
+        continue;
+      }
+      int64_t w = population_[p];
+      if (w <= 0 || w >= gap) continue;  // Would not shrink the gap.
+      int64_t off_center = std::abs(2 * w - gap);
+      if (best < 0 || off_center < best_off_center) {
+        best = static_cast<int>(p);
+        best_off_center = off_center;
+      }
+    }
+    if (best < 0) break;  // No improving move left.
+    UDR_RETURN_IF_ERROR(
+        MovePrimary(static_cast<size_t>(best), min_i, report));
+  }
+  return Status::Ok();
+}
+
+StatusOr<RebalanceReport> PartitionMap::Rebalance() {
+  RebalanceReport report;
+  report.spread_before = PrimarySpread();
+  report.spread_after = report.spread_before;
+  report.population_spread_before = PopulationSpread();
+  report.population_spread_after = report.population_spread_before;
+  if (partitions_.empty()) return report;
+
+  if (config_.rebalance_weight == RebalanceWeight::kPopulation) {
+    UDR_RETURN_IF_ERROR(RebalanceByPopulation(&report));
+  } else {
+    UDR_RETURN_IF_ERROR(RebalanceByPrimaryCount(&report));
   }
   report.spread_after = PrimarySpread();
+  report.population_spread_after = PopulationSpread();
   return report;
 }
 

@@ -31,6 +31,12 @@
 
 namespace udr::routing {
 
+/// What Rebalance() balances across storage elements.
+enum class RebalanceWeight {
+  kPrimaryCount,  ///< Primary copies hosted per SE (spread <= 1).
+  kPopulation,    ///< Subscriber population primary-hosted per SE.
+};
+
 /// Static configuration of the partition layer.
 struct PartitionMapConfig {
   /// Copies per partition (1 primary + N-1 secondaries).
@@ -40,6 +46,10 @@ struct PartitionMapConfig {
   int partitions_per_se = 1;
   /// Ring smoothness for key -> partition hashing.
   int vnodes_per_partition = 64;
+  /// Balancing criterion for Rebalance(). Population weighting uses the
+  /// per-partition subscriber accounting, so SEs end up with similar served
+  /// populations even when partitions are unevenly filled.
+  RebalanceWeight rebalance_weight = RebalanceWeight::kPrimaryCount;
   /// Template for every partition's replica set; `name` is overridden with
   /// "partition-<id>" per partition.
   replication::ReplicaSetConfig replica_template;
@@ -70,6 +80,8 @@ struct RebalanceReport {
   std::vector<PartitionMove> moves;
   int spread_before = 0;  ///< max-min primaries per SE before the pass.
   int spread_after = 0;
+  int64_t population_spread_before = 0;  ///< max-min population per SE.
+  int64_t population_spread_after = 0;
   int64_t entries_replayed = 0;
   int64_t bytes_moved = 0;
   MicroDuration duration = 0;  ///< Modelled total migration time.
@@ -131,10 +143,16 @@ class PartitionMap {
   std::vector<int> PrimariesPerSe() const;
   /// max - min of PrimariesPerSe() (0 for an empty map).
   int PrimarySpread() const;
+  /// Subscriber population primary-hosted per registered SE.
+  std::vector<int64_t> PopulationPerSe() const;
+  /// max - min of PopulationPerSe() (0 for an empty map).
+  int64_t PopulationSpread() const;
 
   /// Migrates primary copies from the most- to the least-loaded SEs until
-  /// the spread is <= 1. Planned handoffs ship the full commit log before
-  /// switching ownership, so no acknowledged write is lost.
+  /// balanced under the configured weight: primary-count spread <= 1
+  /// (kPrimaryCount) or no population-improving move left (kPopulation).
+  /// Planned handoffs ship the full commit log before switching ownership,
+  /// so no acknowledged write is lost.
   StatusOr<RebalanceReport> Rebalance();
 
   // -- Maintenance fan-out -----------------------------------------------------
@@ -143,6 +161,14 @@ class PartitionMap {
   replication::RestorationReport RestoreAll();
 
  private:
+  /// Migrates partition `partition`'s primary copy onto SE `to_idx`,
+  /// recording the move and bookkeeping into `report`.
+  Status MovePrimary(size_t partition, size_t to_idx, RebalanceReport* report);
+
+  /// One greedy pass per weight mode; both share MovePrimary().
+  Status RebalanceByPrimaryCount(RebalanceReport* report);
+  Status RebalanceByPopulation(RebalanceReport* report);
+
   PartitionMapConfig config_;
   sim::Network* network_;
   std::vector<SeInfo> ses_;

@@ -61,8 +61,11 @@ std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind) {
       inner = std::make_unique<RoundRobinPolicy>();
       break;
     case PlacementKind::kHash:
-      inner = std::make_unique<HashPolicy>();
-      break;
+      // No selective wrapper: consistent hashing cannot honor an explicit
+      // home site (§3.5), and a selective override would break the router's
+      // hash-routed location bypass (partition must stay a pure function of
+      // the identity).
+      return std::make_unique<HashPolicy>();
   }
   return std::make_unique<SelectivePolicy>(std::move(inner));
 }

@@ -97,7 +97,10 @@ class SelectivePolicy : public PlacementPolicy {
 /// Which fallback policy the NF deploys under selective placement.
 enum class PlacementKind { kLeastLoaded, kRoundRobin, kHash };
 
-/// Builds the deployment policy: SelectivePolicy over the requested kind.
+/// Builds the deployment policy: SelectivePolicy over the requested kind,
+/// except kHash, which is deployed bare — consistent hashing cannot honor a
+/// home site (§3.5), and keeping the partition a pure function of the
+/// identity is what enables the router's hash-routed location bypass.
 std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind);
 
 }  // namespace udr::routing

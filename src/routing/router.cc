@@ -1,6 +1,11 @@
 #include "routing/router.h"
 
+#include <algorithm>
 #include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "replication/write_builder.h"
 
 namespace udr::routing {
 
@@ -78,8 +83,24 @@ ResolveResult Router::ResolveAt(const Identity& id, sim::SiteId poa_site) {
   return stage->Resolve(id, network_->Now());
 }
 
-RouteResult Router::Route(const Identity& id, sim::SiteId poa_site) {
+RouteResult Router::ResolveOne(const Identity& id, sim::SiteId poa_site,
+                               bool read_intent) {
   RouteResult out;
+  // Hash fast path: under hash placement the owning partition and the record
+  // key are pure functions of the identity, so an eligible read never needs
+  // the location stage (no lookup state, no scale-out sync window).
+  if (bypass_.enabled && read_intent && id.type == bypass_.identity_type &&
+      map_->partition_count() > 0 && bypass_exceptions_.count(id) == 0) {
+    out.status = Status::Ok();
+    out.resolve_cost = bypass_.lookup_cost;
+    out.key = location::HashIdentity(id);
+    out.partition = map_->PartitionOfIdentity(id);
+    out.rs = map_->partition(out.partition);
+    out.bypassed_location = true;
+    metrics_->Add("router.bypass.hits");
+    metrics_->Add("router.routed");
+    return out;
+  }
   ResolveResult loc = ResolveAt(id, poa_site);
   out.resolve_cost = loc.cost;
   if (!loc.status.ok()) {
@@ -98,6 +119,168 @@ RouteResult Router::Route(const Identity& id, sim::SiteId poa_site) {
   out.rs = map_->partition(loc.entry.partition);
   metrics_->Add("router.routed");
   return out;
+}
+
+RouteResult Router::Route(const Identity& id, sim::SiteId poa_site,
+                          RouteIntent intent) {
+  BatchRequest one;
+  one.Add(intent == RouteIntent::kRead ? Operation::ReadRecord(id)
+                                       : Operation::Write(id, {}));
+  return ResolveStage(one, poa_site, nullptr).front();
+}
+
+std::vector<RouteResult> Router::ResolveStage(const BatchRequest& batch,
+                                              sim::SiteId poa_site,
+                                              BatchResult* result) {
+  std::vector<RouteResult> routes;
+  routes.reserve(batch.ops.size());
+  for (const Operation& op : batch.ops) {
+    RouteResult r = ResolveOne(op.identity, poa_site, op.IsRead());
+    if (result != nullptr) {
+      result->resolve_cost += r.resolve_cost;
+      if (r.bypassed_location) ++result->bypass_hits;
+    }
+    routes.push_back(std::move(r));
+  }
+  return routes;
+}
+
+MicroDuration Router::DispatchGroup(const BatchRequest& batch,
+                                    const std::vector<RouteResult>& routes,
+                                    const std::vector<size_t>& members,
+                                    sim::SiteId poa_site, BatchResult* result) {
+  replication::ReplicaSet* rs = routes[members.front()].rs;
+  // The whole group ships to its replica set as one message: runs within it
+  // execute in order, but their transits overlap in a single round-trip
+  // window, so the group pays max(run transit) + the serialized service time.
+  MicroDuration service_total = 0;
+  MicroDuration window_transit = 0;
+
+  // Pending run of consecutive same-kind ops (one grouped dispatch each).
+  std::vector<std::vector<storage::WriteOp>> write_txns;
+  std::vector<size_t> write_idx;
+  std::vector<replication::BatchReadOp> read_ops;
+  std::vector<size_t> read_idx;
+
+  auto flush_writes = [&]() {
+    if (write_txns.empty()) return;
+    replication::GroupWriteResult gw =
+        rs->WriteBatch(poa_site, std::move(write_txns));
+    service_total += gw.latency - gw.transit;
+    window_transit = std::max(window_transit, gw.transit);
+    for (size_t j = 0; j < gw.per_op.size(); ++j) {
+      OpOutcome& o = result->outcomes[write_idx[j]];
+      o.status = gw.per_op[j].status;
+      o.latency = gw.per_op[j].latency;
+      o.seq = gw.per_op[j].seq;
+      o.served_by = gw.per_op[j].served_by;
+      if (!o.status.ok()) ++result->failed_ops;
+    }
+    write_txns.clear();
+    write_idx.clear();
+  };
+  auto flush_reads = [&]() {
+    if (read_ops.empty()) return;
+    replication::GroupReadResult gr = rs->ReadBatch(poa_site, read_ops);
+    service_total += gr.latency - gr.transit;
+    window_transit = std::max(window_transit, gr.transit);
+    for (size_t j = 0; j < gr.per_op.size(); ++j) {
+      OpOutcome& o = result->outcomes[read_idx[j]];
+      o.status = gr.per_op[j].status;
+      o.latency = gr.per_op[j].latency;
+      o.stale = gr.per_op[j].stale;
+      o.served_by = gr.per_op[j].served_by;
+      o.value = gr.per_op[j].value;
+      o.record = std::move(gr.records[j]);
+      if (!o.status.ok()) ++result->failed_ops;
+    }
+    read_ops.clear();
+    read_idx.clear();
+  };
+
+  // Walk the group's ops in request order; consecutive writes commit as one
+  // log-append window, consecutive reads probe as one fan-out. A kind switch
+  // flushes the pending run first, preserving per-key op order.
+  for (size_t i : members) {
+    const Operation& op = batch.ops[i];
+    if (op.kind == Operation::Kind::kWrite) {
+      flush_reads();
+      replication::WriteBuilder wb;
+      for (const Mutation& m : op.mutations) {
+        switch (m.kind) {
+          case Mutation::Kind::kSet:
+            wb.Set(routes[i].key, m.attr, m.value);
+            break;
+          case Mutation::Kind::kRemove:
+            wb.Remove(routes[i].key, m.attr);
+            break;
+          case Mutation::Kind::kDeleteRecord:
+            wb.Delete(routes[i].key);
+            break;
+        }
+      }
+      write_txns.push_back(std::move(wb).Build());
+      write_idx.push_back(i);
+    } else {
+      flush_writes();
+      replication::BatchReadOp ro;
+      ro.key = routes[i].key;
+      if (op.kind == Operation::Kind::kReadAttribute) ro.attr = op.attr;
+      ro.pref = op.read_pref;
+      read_ops.push_back(std::move(ro));
+      read_idx.push_back(i);
+    }
+  }
+  flush_writes();
+  flush_reads();
+  return window_transit + service_total;
+}
+
+BatchResult Router::RouteBatch(const BatchRequest& batch,
+                               sim::SiteId poa_site) {
+  BatchResult result;
+  result.outcomes.resize(batch.ops.size());
+  if (batch.empty()) return result;
+
+  // Stage 1: resolve every identity at the PoA (or via the hash bypass).
+  std::vector<RouteResult> routes = ResolveStage(batch, poa_site, &result);
+
+  // Stage 2: group resolved ops by owning partition, keeping request order
+  // inside each group (stable grouping = per-key order preserved).
+  std::vector<std::pair<uint32_t, std::vector<size_t>>> groups;
+  std::unordered_map<uint32_t, size_t> group_of;
+  for (size_t i = 0; i < routes.size(); ++i) {
+    OpOutcome& o = result.outcomes[i];
+    o.bypassed_location = routes[i].bypassed_location;
+    if (!routes[i].status.ok()) {
+      // Per-op isolation: a failed resolution fails this op only.
+      o.status = routes[i].status;
+      ++result.failed_ops;
+      continue;
+    }
+    o.partition = routes[i].partition;
+    o.key = routes[i].key;
+    auto [it, fresh] = group_of.try_emplace(routes[i].partition, groups.size());
+    if (fresh) groups.push_back({routes[i].partition, {}});
+    groups[it->second].second.push_back(i);
+  }
+  result.partition_groups = static_cast<int>(groups.size());
+
+  // Stage 3: one grouped dispatch per replica set; groups fan out
+  // concurrently from the PoA, so the batch pays the slowest one.
+  MicroDuration slowest_group = 0;
+  for (const auto& [partition, members] : groups) {
+    slowest_group = std::max(
+        slowest_group, DispatchGroup(batch, routes, members, poa_site, &result));
+  }
+  result.latency = result.resolve_cost + slowest_group;
+
+  metrics_->Add("router.batch.count");
+  metrics_->Add("router.batch.ops", static_cast<int64_t>(batch.ops.size()));
+  metrics_->Observe("router.batch.size",
+                    static_cast<int64_t>(batch.ops.size()));
+  metrics_->Observe("router.batch.groups", result.partition_groups);
+  return result;
 }
 
 }  // namespace udr::routing

@@ -20,12 +20,14 @@
 #define UDR_ROUTING_ROUTER_H_
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
 #include "location/identity.h"
 #include "location/location_stage.h"
+#include "routing/batch.h"
 #include "routing/partition_map.h"
 #include "sim/network.h"
 
@@ -38,6 +40,27 @@ struct RouteResult {
   storage::RecordKey key = 0;
   uint32_t partition = 0;
   MicroDuration resolve_cost = 0;  ///< Location-stage processing cost.
+  bool bypassed_location = false;  ///< Served by the hash fast path.
+};
+
+/// What a single-op Route call will do with the replica set. Reads are
+/// eligible for the hash-routed location bypass; writes always resolve
+/// through the location stage (a bypassed write on an unprovisioned identity
+/// would silently materialize a record).
+enum class RouteIntent { kRead, kWrite };
+
+/// Hash-routed location bypass (deployed under PlacementKind::kHash): read
+/// resolution short-circuits via PartitionMap::PartitionOfIdentity and the
+/// identity-hash record key, skipping the location stage entirely. Only
+/// identities of `identity_type` are eligible — under hash placement the
+/// record is keyed and placed by that identity, and routing any *other*
+/// identity type by hash would land on the wrong ring (the paper's
+/// one-ring-per-identity-type limitation, §3.5).
+struct HashBypassConfig {
+  bool enabled = false;
+  location::IdentityType identity_type = location::IdentityType::kImsi;
+  /// O(1) ring-lookup cost, mirroring LocationCostModel::hash_lookup.
+  MicroDuration lookup_cost = Micros(2);
 };
 
 class Router {
@@ -66,6 +89,14 @@ class Router {
     return authoritative_.count(id) > 0;
   }
 
+  /// Read-only view of every authoritative binding (used by the deployment
+  /// layer to re-home hash-keyed subscribers after the ring grows).
+  const std::unordered_map<location::Identity, location::LocationEntry,
+                           location::IdentityHasher>&
+  bindings() const {
+    return authoritative_;
+  }
+
   /// Records a binding authoritatively and at every PoA stage.
   void Bind(const location::Identity& id, const location::LocationEntry& entry);
 
@@ -79,7 +110,43 @@ class Router {
                                     sim::SiteId poa_site);
 
   /// Full data-path hop: identity -> location entry -> owning replica set.
-  RouteResult Route(const location::Identity& id, sim::SiteId poa_site);
+  /// A thin wrapper over the resolution stage of a size-1 batch; reads may
+  /// take the hash bypass when it is enabled.
+  RouteResult Route(const location::Identity& id, sim::SiteId poa_site,
+                    RouteIntent intent = RouteIntent::kWrite);
+
+  // -- Batched pipeline --------------------------------------------------------
+
+  /// Configures the hash-routed location bypass (see HashBypassConfig).
+  void SetHashBypass(HashBypassConfig config) { bypass_ = config; }
+  const HashBypassConfig& hash_bypass() const { return bypass_; }
+
+  /// Excludes one identity from the bypass: its reads fall back to the
+  /// location stage until cleared. Used by the deployment layer when a
+  /// subscriber's record could not be re-homed to its ring owner (the stage
+  /// still knows the true location; the hash would misroute).
+  void AddBypassException(const location::Identity& id) {
+    bypass_exceptions_.insert(id);
+  }
+  void ClearBypassException(const location::Identity& id) {
+    bypass_exceptions_.erase(id);
+  }
+  size_t bypass_exception_count() const { return bypass_exceptions_.size(); }
+
+  /// Stage 1 of the pipeline: resolves every op of the batch at the location
+  /// stage local to `poa_site` (or via the hash bypass for eligible reads).
+  /// Returns one RouteResult per op and accounts resolution cost and bypass
+  /// hits into `result` when non-null.
+  std::vector<RouteResult> ResolveStage(const BatchRequest& batch,
+                                        sim::SiteId poa_site,
+                                        BatchResult* result);
+
+  /// The staged batch pipeline: (1) resolve all identities at the PoA,
+  /// (2) group ops by owning partition, (3) dispatch one grouped
+  /// ReplicaSet::WriteBatch / ReadBatch per partition-group run. Per-key op
+  /// order is preserved (grouping is stable and runs within a group execute
+  /// in request order); a failed op never poisons the rest of the batch.
+  BatchResult RouteBatch(const BatchRequest& batch, sim::SiteId poa_site);
 
   PartitionMap* partition_map() { return map_; }
 
@@ -90,9 +157,24 @@ class Router {
     location::LocationStage* stage = nullptr;
   };
 
+  /// Resolves one op: hash bypass when eligible, location stage otherwise.
+  RouteResult ResolveOne(const location::Identity& id, sim::SiteId poa_site,
+                         bool read_intent);
+
+  /// Stage 3 helper: dispatches one partition-group, walking its ops in
+  /// request order and flushing consecutive same-kind runs as one grouped
+  /// ReplicaSet call. Returns the group's modelled latency.
+  MicroDuration DispatchGroup(const BatchRequest& batch,
+                              const std::vector<RouteResult>& routes,
+                              const std::vector<size_t>& members,
+                              sim::SiteId poa_site, BatchResult* result);
+
   PartitionMap* map_;
   sim::Network* network_;
   Metrics* metrics_;
+  HashBypassConfig bypass_;
+  std::unordered_set<location::Identity, location::IdentityHasher>
+      bypass_exceptions_;
   std::vector<Poa> poas_;
   std::unordered_map<location::Identity, location::LocationEntry,
                      location::IdentityHasher>

@@ -28,26 +28,26 @@ ldap::Dn DnFor(const location::Identity& id) {
 
 }  // namespace
 
-ldap::LdapResult FrontEnd::Read(const location::Identity& id,
-                                const std::vector<std::string>& attrs) const {
+ldap::LdapRequest FrontEnd::MakeRead(
+    const location::Identity& id, const std::vector<std::string>& attrs) const {
   ldap::LdapRequest req;
   req.op = ldap::LdapOp::kSearch;
   req.dn = DnFor(id);
   req.scope = ldap::SearchScope::kBaseObject;
   req.filter = "(objectclass=*)";
   req.requested_attrs = attrs;
-  return udr_->Submit(req, site_);
+  return req;
 }
 
-ldap::LdapResult FrontEnd::Write(const location::Identity& id,
-                                 const std::string& attr,
-                                 storage::Value value) const {
+ldap::LdapRequest FrontEnd::MakeWrite(const location::Identity& id,
+                                      const std::string& attr,
+                                      storage::Value value) const {
   ldap::LdapRequest req;
   req.op = ldap::LdapOp::kModify;
   req.dn = DnFor(id);
   req.mods.push_back(
       ldap::Modification{ldap::ModType::kReplace, attr, std::move(value)});
-  return udr_->Submit(req, site_);
+  return req;
 }
 
 void FrontEnd::Fold(const ldap::LdapResult& r, ProcedureResult* out) {
@@ -66,62 +66,64 @@ void FrontEnd::Fold(const ldap::LdapResult& r, ProcedureResult* out) {
   }
 }
 
+ProcedureResult FrontEnd::RunOps(
+    const std::vector<ldap::LdapRequest>& requests) {
+  ProcedureResult out;
+  if (batched_) {
+    // One multi-op message: per-op results fold for failure/staleness
+    // accounting, the procedure latency is the batch's end-to-end latency.
+    ldap::LdapBatchResult batch = udr_->SubmitBatch(requests, site_);
+    for (const ldap::LdapResult& r : batch.results) {
+      ldap::LdapResult shadow = r;
+      shadow.latency = 0;  // The batch latency is not a per-op sum.
+      Fold(shadow, &out);
+    }
+    out.latency = batch.latency;
+  } else {
+    for (const ldap::LdapRequest& req : requests) {
+      Fold(udr_->Submit(req, site_), &out);
+      if (!out.ok()) break;  // Sequential procedures abort on first failure.
+    }
+  }
+  Count(out);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // HLR-FE
 // ---------------------------------------------------------------------------
 
 ProcedureResult HlrFe::Authenticate(const location::Identity& id) {
-  ProcedureResult out;
-  Fold(Read(id, {attr::kAuthKey, attr::kSqn}), &out);
-  Count(out);
-  return out;
+  return RunOps({MakeRead(id, {attr::kAuthKey, attr::kSqn})});
 }
 
 ProcedureResult HlrFe::UpdateLocation(const location::Identity& id,
                                       const std::string& vlr_address,
                                       int64_t location_area) {
-  ProcedureResult out;
-  // Read the profile (roaming permission, category) ...
-  Fold(Read(id, {attr::kRoamingAllowed, attr::kCategory}), &out);
-  if (!out.ok()) {
-    Count(out);
-    return out;
-  }
-  // ... then register the new serving VLR / location area.
-  ldap::LdapRequest req;
-  req.op = ldap::LdapOp::kModify;
-  req.dn = ldap::SubscriberDn(DnAttrFor(id.type), id.value);
-  req.mods.push_back(ldap::Modification{ldap::ModType::kReplace,
-                                        attr::kServingVlr, vlr_address});
-  req.mods.push_back(ldap::Modification{ldap::ModType::kReplace,
-                                        attr::kLocationArea, location_area});
-  Fold(udr_->Submit(req, site_), &out);
-  Count(out);
-  return out;
+  // Read the profile (roaming permission, category), then register the new
+  // serving VLR / location area.
+  ldap::LdapRequest update;
+  update.op = ldap::LdapOp::kModify;
+  update.dn = ldap::SubscriberDn(DnAttrFor(id.type), id.value);
+  update.mods.push_back(ldap::Modification{ldap::ModType::kReplace,
+                                           attr::kServingVlr, vlr_address});
+  update.mods.push_back(ldap::Modification{ldap::ModType::kReplace,
+                                           attr::kLocationArea, location_area});
+  return RunOps(
+      {MakeRead(id, {attr::kRoamingAllowed, attr::kCategory}), update});
 }
 
 ProcedureResult HlrFe::SendRoutingInfo(const location::Identity& id) {
-  ProcedureResult out;
-  Fold(Read(id, {attr::kServingVlr, attr::kLocationArea}), &out);
-  if (out.ok()) {
-    Fold(Read(id, {attr::kOdbPremium, attr::kCallForwardingUncond}), &out);
-  }
-  Count(out);
-  return out;
+  return RunOps({MakeRead(id, {attr::kServingVlr, attr::kLocationArea}),
+                 MakeRead(id, {attr::kOdbPremium, attr::kCallForwardingUncond})});
 }
 
 ProcedureResult HlrFe::SmsRouting(const location::Identity& id) {
-  ProcedureResult out;
-  Fold(Read(id, {attr::kServingVlr, attr::kTeleservices}), &out);
-  Count(out);
-  return out;
+  return RunOps({MakeRead(id, {attr::kServingVlr, attr::kTeleservices})});
 }
 
 ProcedureResult HlrFe::InterrogateSs(const location::Identity& id) {
-  ProcedureResult out;
-  Fold(Read(id, {attr::kCallForwardingUncond}), &out);
-  Count(out);
-  return out;
+  return RunOps({MakeRead(id, {attr::kCallForwardingUncond})});
 }
 
 // ---------------------------------------------------------------------------
@@ -130,45 +132,28 @@ ProcedureResult HlrFe::InterrogateSs(const location::Identity& id) {
 
 ProcedureResult HssFe::ImsRegister(const location::Identity& impu,
                                    const std::string& scscf_name) {
-  ProcedureResult out;
-  // Cx UAR: registration authorization (impu -> profile).
-  Fold(Read(impu, {attr::kImpi, attr::kRegistrationState}), &out);
-  if (!out.ok()) { Count(out); return out; }
-  // Cx MAR: authentication vectors.
-  Fold(Read(impu, {attr::kAuthKey, attr::kSqn}), &out);
-  if (!out.ok()) { Count(out); return out; }
-  // Cx SAR: S-CSCF assignment (write) + registration state (write).
-  Fold(Write(impu, attr::kServingCscf, scscf_name), &out);
-  if (!out.ok()) { Count(out); return out; }
-  Fold(Write(impu, attr::kRegistrationState, std::string("registered")), &out);
-  if (!out.ok()) { Count(out); return out; }
-  // Service profile download + charging info.
-  Fold(Read(impu, {attr::kTeleservices, attr::kOdbPremium}), &out);
-  if (!out.ok()) { Count(out); return out; }
-  Fold(Read(impu, {attr::kChargingProfile}), &out);
-  Count(out);
-  return out;
+  // Cx UAR (authorization) + MAR (auth vectors) + SAR (S-CSCF assignment,
+  // registration state) + service profile + charging info: the paper's
+  // "somewhat heavier" 5-6 op IMS procedure as one op list.
+  return RunOps({
+      MakeRead(impu, {attr::kImpi, attr::kRegistrationState}),
+      MakeRead(impu, {attr::kAuthKey, attr::kSqn}),
+      MakeWrite(impu, attr::kServingCscf, scscf_name),
+      MakeWrite(impu, attr::kRegistrationState, std::string("registered")),
+      MakeRead(impu, {attr::kTeleservices, attr::kOdbPremium}),
+      MakeRead(impu, {attr::kChargingProfile}),
+  });
 }
 
 ProcedureResult HssFe::ImsLocate(const location::Identity& impu) {
-  ProcedureResult out;
-  Fold(Read(impu, {attr::kServingCscf}), &out);
-  if (out.ok()) {
-    Fold(Read(impu, {attr::kRegistrationState}), &out);
-  }
-  Count(out);
-  return out;
+  return RunOps({MakeRead(impu, {attr::kServingCscf}),
+                 MakeRead(impu, {attr::kRegistrationState})});
 }
 
 ProcedureResult HssFe::ImsDeregister(const location::Identity& impu) {
-  ProcedureResult out;
-  Fold(Read(impu, {attr::kRegistrationState}), &out);
-  if (out.ok()) {
-    Fold(Write(impu, attr::kRegistrationState, std::string("deregistered")),
-         &out);
-  }
-  Count(out);
-  return out;
+  return RunOps({MakeRead(impu, {attr::kRegistrationState}),
+                 MakeWrite(impu, attr::kRegistrationState,
+                           std::string("deregistered"))});
 }
 
 }  // namespace udr::telecom

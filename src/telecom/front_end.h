@@ -27,25 +27,43 @@ struct ProcedureResult {
 };
 
 /// Common base: a front-end instance deployed at a site, talking to the UDR.
+///
+/// A procedure's LDAP ops are declared up-front as a request list. In
+/// sequential mode (default) the FE submits them one by one, stopping at the
+/// first failure — one round trip per op. In batched mode the whole list
+/// ships as ONE multi-op message riding the UDR's staged batch pipeline: all
+/// ops execute (per-op error isolation replaces early abort) and the
+/// procedure pays one client round trip plus one grouped dispatch per
+/// touched partition.
 class FrontEnd {
  public:
-  FrontEnd(std::string name, sim::SiteId site, udrnf::UdrNf* udr)
-      : name_(std::move(name)), site_(site), udr_(udr) {}
+  FrontEnd(std::string name, sim::SiteId site, udrnf::UdrNf* udr,
+           bool batched = false)
+      : name_(std::move(name)), site_(site), udr_(udr), batched_(batched) {}
   virtual ~FrontEnd() = default;
 
   const std::string& name() const { return name_; }
   sim::SiteId site() const { return site_; }
+  bool batched() const { return batched_; }
+  void set_batched(bool batched) { batched_ = batched; }
 
   int64_t procedures_ok() const { return procedures_ok_; }
   int64_t procedures_failed() const { return procedures_failed_; }
 
  protected:
-  /// Reads the subscriber entry (projected to `attrs`, empty = all).
-  ldap::LdapResult Read(const location::Identity& id,
-                        const std::vector<std::string>& attrs) const;
-  /// Replaces one attribute of the subscriber entry.
-  ldap::LdapResult Write(const location::Identity& id, const std::string& attr,
-                         storage::Value value) const;
+  /// Builds a read of the subscriber entry (projected to `attrs`, empty = all).
+  ldap::LdapRequest MakeRead(const location::Identity& id,
+                             const std::vector<std::string>& attrs) const;
+  /// Builds a replace of one attribute of the subscriber entry.
+  ldap::LdapRequest MakeWrite(const location::Identity& id,
+                              const std::string& attr,
+                              storage::Value value) const;
+
+  /// Executes one procedure's ops: one multi-op message when batched,
+  /// sequential submits (aborting on first failure) otherwise. Counts the
+  /// procedure.
+  ProcedureResult RunOps(const std::vector<ldap::LdapRequest>& requests);
+
   /// Folds an LDAP result into a procedure result.
   static void Fold(const ldap::LdapResult& r, ProcedureResult* out);
 
@@ -57,6 +75,7 @@ class FrontEnd {
   std::string name_;
   sim::SiteId site_;
   udrnf::UdrNf* udr_;
+  bool batched_ = false;
   int64_t procedures_ok_ = 0;
   int64_t procedures_failed_ = 0;
 };
@@ -64,8 +83,8 @@ class FrontEnd {
 /// HLR front-end: GSM/LTE circuit & packet domain procedures.
 class HlrFe : public FrontEnd {
  public:
-  HlrFe(sim::SiteId site, udrnf::UdrNf* udr)
-      : FrontEnd("hlr-fe-" + std::to_string(site), site, udr) {}
+  HlrFe(sim::SiteId site, udrnf::UdrNf* udr, bool batched = false)
+      : FrontEnd("hlr-fe-" + std::to_string(site), site, udr, batched) {}
 
   /// Authentication info retrieval (MAP SAI): 1 read.
   ProcedureResult Authenticate(const location::Identity& id);
@@ -88,8 +107,8 @@ class HlrFe : public FrontEnd {
 /// HSS front-end: IMS Cx procedures ("somewhat heavier": 5-6 ops each).
 class HssFe : public FrontEnd {
  public:
-  HssFe(sim::SiteId site, udrnf::UdrNf* udr)
-      : FrontEnd("hss-fe-" + std::to_string(site), site, udr) {}
+  HssFe(sim::SiteId site, udrnf::UdrNf* udr, bool batched = false)
+      : FrontEnd("hss-fe-" + std::to_string(site), site, udr, batched) {}
 
   /// IMS initial registration (Cx UAR/MAR/SAR): 4 reads + 2 writes.
   ProcedureResult ImsRegister(const location::Identity& impu,

@@ -91,6 +91,31 @@ ProcedureResult ProvisioningSystem::SetCallForwarding(uint64_t index,
   read.scope = ldap::SearchScope::kBaseObject;
   read.requested_attrs = {attr::kCallForwardingUncond, attr::kCategory};
   read.master_only = true;
+  ldap::LdapRequest write;
+  write.op = ldap::LdapOp::kModify;
+  write.dn = read.dn;
+  write.master_only = true;
+  write.mods.push_back(ldap::Modification{
+      ldap::ModType::kReplace, attr::kCallForwardingUncond, number});
+
+  if (config_.batched) {
+    // One provisioning transaction = one multi-op message: both master-only
+    // ops land in the same partition group and share one round trip.
+    ldap::LdapBatchResult batch =
+        udr_->SubmitBatch({read, write}, config_.site);
+    out.ldap_ops = static_cast<int>(batch.results.size());
+    out.latency = batch.latency;
+    for (const ldap::LdapResult& r : batch.results) {
+      if (r.ok()) continue;
+      ++out.failed_ops;
+      if (out.status.ok()) {
+        out.status = Status(StatusCode::kUnavailable,
+                            std::string(ldap::LdapResultCodeName(r.code)));
+      }
+    }
+    return out;
+  }
+
   ldap::LdapResult r1 = udr_->Submit(read, config_.site);
   ++out.ldap_ops;
   out.latency += r1.latency;
@@ -100,12 +125,6 @@ ProcedureResult ProvisioningSystem::SetCallForwarding(uint64_t index,
                         std::string(ldap::LdapResultCodeName(r1.code)));
     return out;
   }
-  ldap::LdapRequest write;
-  write.op = ldap::LdapOp::kModify;
-  write.dn = read.dn;
-  write.master_only = true;
-  write.mods.push_back(ldap::Modification{
-      ldap::ModType::kReplace, attr::kCallForwardingUncond, number});
   ldap::LdapResult r2 = udr_->Submit(write, config_.site);
   ++out.ldap_ops;
   out.latency += r2.latency;

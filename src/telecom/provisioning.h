@@ -34,6 +34,10 @@ namespace udr::telecom {
 struct ProvisioningConfig {
   sim::SiteId site = 0;          ///< Co-located with this PoA.
   int retries = 0;               ///< Immediate retries per failed operation.
+  /// Ship multi-op service-management transactions (e.g. the CFU
+  /// read-modify-write) as one batched message through the data path's
+  /// pipeline instead of one round trip per op.
+  bool batched = false;
 };
 
 /// One batch provisioning run.

@@ -8,6 +8,7 @@
 
 namespace udr::udrnf {
 
+using ldap::LdapBatchResult;
 using ldap::LdapRequest;
 using ldap::LdapResult;
 using ldap::LdapResultCode;
@@ -27,6 +28,7 @@ routing::PartitionMapConfig MapConfigFrom(const UdrConfig& config) {
   routing::PartitionMapConfig mc;
   mc.replication_factor = config.replication_factor;
   mc.partitions_per_se = config.partitions_per_se;
+  mc.rebalance_weight = config.rebalance_weight;
   mc.replica_template.sync_mode = config.sync_mode;
   mc.replica_template.partition_mode = config.partition_mode;
   mc.replica_template.merge_policy = config.merge_policy;
@@ -42,7 +44,16 @@ UdrNf::UdrNf(UdrConfig config, sim::Network* network)
       network_(network),
       map_(MapConfigFrom(config_), network),
       router_(&map_, network, &metrics_),
-      placement_(routing::MakePlacementPolicy(config_.placement)) {}
+      placement_(routing::MakePlacementPolicy(config_.placement)) {
+  if (config_.placement == routing::PlacementKind::kHash &&
+      config_.hash_routed_reads) {
+    routing::HashBypassConfig bypass;
+    bypass.enabled = true;
+    bypass.identity_type = config_.hash_identity_type;
+    bypass.lookup_cost = config_.location_model.hash_lookup;
+    router_.SetHashBypass(bypass);
+  }
+}
 
 UdrNf::~UdrNf() = default;
 
@@ -113,6 +124,8 @@ StatusOr<routing::RebalanceReport> UdrNf::Rebalance() {
                  static_cast<int64_t>(report->moves.size()));
     metrics_.Observe("rebalance.duration_us", report->duration);
     metrics_.Observe("rebalance.bytes_moved", report->bytes_moved);
+    metrics_.Observe("rebalance.population_spread_after",
+                     report->population_spread_after);
   } else {
     metrics_.Add("rebalance.failed");
   }
@@ -189,6 +202,69 @@ std::vector<Identity> UdrNf::IdentitiesOfRecord(const Record& record) const {
 // Subscriber administration
 // ---------------------------------------------------------------------------
 
+void UdrNf::Commission() {
+  const size_t before = map_.partition_count();
+  map_.Commission();
+  if (config_.placement == routing::PlacementKind::kHash &&
+      map_.partition_count() > before) {
+    RehomeHashKeyed();
+  }
+}
+
+void UdrNf::RehomeHashKeyed() {
+  // The ring grew: ~K/N hash-keyed subscribers now hash to a new partition.
+  // Ship each one to its new ring owner and rebind all of its identities, so
+  // the hash bypass (and hash placement of future identities) stays exactly
+  // consistent with the provisioned locations.
+  struct Move {
+    Identity id;
+    LocationEntry from;
+    uint32_t to = 0;
+  };
+  std::vector<Move> moves;
+  for (const auto& [id, entry] : router_.bindings()) {
+    if (id.type != config_.hash_identity_type) continue;
+    uint32_t owner = map_.PartitionOfIdentity(id);
+    if (owner != entry.partition) moves.push_back({id, entry, owner});
+  }
+  for (const Move& m : moves) {
+    ReplicaSet* from = map_.partition(m.from.partition);
+    ReplicaSet* to = map_.partition(m.to);
+    auto record = from->ReadRecord(from->master_site(), m.from.key,
+                                   ReadPreference::kMasterOnly);
+    replication::WriteResult write;
+    if (record.ok()) {
+      WriteBuilder put;
+      put.PutRecord(m.from.key, *record);
+      write = to->Write(to->master_site(), std::move(put).Build());
+    }
+    if (!record.ok() || !write.status.ok()) {
+      // The move failed; the old partition keeps the record and the binding.
+      // The bypass would now compute the NEW ring owner and miss, so this
+      // identity must resolve through the location stage until a later ring
+      // change re-homes it.
+      router_.AddBypassException(m.id);
+      metrics_.Add("hash.rehome.failed");
+      continue;
+    }
+    WriteBuilder del;
+    del.Delete(m.from.key);
+    (void)from->Write(from->master_site(), std::move(del).Build());
+
+    LocationEntry entry;
+    entry.key = m.from.key;
+    entry.partition = m.to;
+    for (const Identity& sub_id : IdentitiesOfRecord(*record)) {
+      router_.Bind(sub_id, entry);
+    }
+    router_.Bind(m.id, entry);
+    router_.ClearBypassException(m.id);
+    map_.AddPopulation(m.from.partition, -1);
+    map_.AddPopulation(m.to, 1);
+    metrics_.Add("hash.rehome.moved");
+  }
+}
+
 StatusOr<UdrNf::CreateOutcome> UdrNf::CreateSubscriber(const CreateSpec& spec,
                                                        sim::SiteId origin_site) {
   if (spec.identities.empty()) {
@@ -200,10 +276,35 @@ StatusOr<UdrNf::CreateOutcome> UdrNf::CreateSubscriber(const CreateSpec& spec,
                                    " already provisioned");
     }
   }
-  map_.Commission();
+  Commission();
   routing::PlacementRequest preq;
   preq.home_site = spec.home_site;
   preq.identity = &spec.identities.front();
+
+  // Hash placement keys the record by identity hash, making {partition, key}
+  // a pure function of the hash identity — that is what lets the router's
+  // location bypass resolve reads without the location stage. The hash
+  // identity is the first identity of the configured bypass type, so bypass
+  // routing and placement always agree.
+  const bool hash_keyed = config_.placement == routing::PlacementKind::kHash;
+  if (hash_keyed) {
+    const Identity* hash_id = nullptr;
+    for (const Identity& id : spec.identities) {
+      if (id.type != config_.hash_identity_type) continue;
+      if (hash_id != nullptr) {
+        // Two identities of the bypass type would each hash-route to their
+        // own ring position while only one can key the record — bypassed
+        // reads on the other would miss. Keep the placement function total.
+        return Status::InvalidArgument(
+            "hash placement allows one " +
+            std::string(location::IdentityTypeName(
+                config_.hash_identity_type)) +
+            " per subscription");
+      }
+      hash_id = &id;
+    }
+    if (hash_id != nullptr) preq.identity = hash_id;
+  }
   UDR_ASSIGN_OR_RETURN(uint32_t pidx, placement_->PickPartition(map_, preq));
   ReplicaSet* rs = map_.partition(pidx);
 
@@ -212,7 +313,8 @@ StatusOr<UdrNf::CreateOutcome> UdrNf::CreateSubscriber(const CreateSpec& spec,
   int64_t bytes = spec.profile.ApproxBytes();
   UDR_RETURN_IF_ERROR(map_.primary_se(pidx)->CheckCapacity(bytes));
 
-  storage::RecordKey key = next_key_++;
+  storage::RecordKey key =
+      hash_keyed ? location::HashIdentity(*preq.identity) : next_key_++;
   WriteBuilder wb;
   wb.PutRecord(key, spec.profile);
   replication::WriteResult write = rs->Write(origin_site, std::move(wb).Build());
@@ -334,31 +436,9 @@ LdapResult UdrNf::Process(const LdapRequest& request, uint32_t poa_site) {
   return r;
 }
 
-LdapResult UdrNf::DoSearch(const LdapRequest& request, uint32_t poa_site) {
+LdapResult UdrNf::SearchResultFor(const LdapRequest& request,
+                                  const storage::Record& record) const {
   LdapResult r;
-  auto identity = RequestIdentity(request);
-  if (!identity.ok()) {
-    r.code = StatusToLdapCode(identity.status());
-    r.diagnostic = identity.status().message();
-    return r;
-  }
-  RouteResult route = router_.Route(*identity, poa_site);
-  r.latency += route.resolve_cost;
-  if (!route.status.ok()) {
-    r.code = StatusToLdapCode(route.status);
-    r.diagnostic = route.status.message();
-    return r;
-  }
-  replication::ReadResult meta;
-  auto record =
-      route.rs->ReadRecord(poa_site, route.key, ReadPrefFor(request), &meta);
-  r.latency += meta.latency;
-  r.stale = meta.stale;
-  if (!record.ok()) {
-    r.code = StatusToLdapCode(record.status());
-    r.diagnostic = record.status().message();
-    return r;
-  }
   auto filter = ldap::Filter::Parse(request.filter);
   if (!filter.ok()) {
     r.code = LdapResultCode::kProtocolError;
@@ -368,15 +448,15 @@ LdapResult UdrNf::DoSearch(const LdapRequest& request, uint32_t poa_site) {
   bool matches = filter->kind() == ldap::Filter::Kind::kPresence &&
                          filter->attr() == "objectclass"
                      ? true
-                     : filter->Matches(*record);
+                     : filter->Matches(record);
   if (matches) {
     ldap::SearchEntry entry;
     entry.dn = request.dn;
     if (request.requested_attrs.empty()) {
-      entry.record = *record;
+      entry.record = record;
     } else {
       for (const std::string& attr : request.requested_attrs) {
-        const storage::Attribute* a = record->Find(attr);
+        const storage::Attribute* a = record.Find(attr);
         if (a != nullptr) {
           entry.record.Set(attr, a->value, a->modified_at, a->writer);
         }
@@ -385,7 +465,40 @@ LdapResult UdrNf::DoSearch(const LdapRequest& request, uint32_t poa_site) {
     r.entries.push_back(std::move(entry));
   }
   r.code = LdapResultCode::kSuccess;
-  metrics_.Add("udr.search.ok");
+  return r;
+}
+
+LdapResult UdrNf::DoSearch(const LdapRequest& request, uint32_t poa_site) {
+  LdapResult r;
+  auto identity = RequestIdentity(request);
+  if (!identity.ok()) {
+    r.code = StatusToLdapCode(identity.status());
+    r.diagnostic = identity.status().message();
+    return r;
+  }
+  RouteResult route =
+      router_.Route(*identity, poa_site, routing::RouteIntent::kRead);
+  r.latency += route.resolve_cost;
+  if (!route.status.ok()) {
+    r.code = StatusToLdapCode(route.status);
+    r.diagnostic = route.status.message();
+    return r;
+  }
+  replication::ReadResult meta;
+  auto record =
+      route.rs->ReadRecord(poa_site, route.key, ReadPrefFor(request), &meta);
+  if (!record.ok()) {
+    r.latency += meta.latency;
+    r.stale = meta.stale;
+    r.code = StatusToLdapCode(record.status());
+    r.diagnostic = record.status().message();
+    return r;
+  }
+  MicroDuration resolve_and_read = r.latency + meta.latency;
+  r = SearchResultFor(request, *record);
+  r.latency += resolve_and_read;
+  r.stale = meta.stale;
+  if (r.ok()) metrics_.Add("udr.search.ok");
   return r;
 }
 
@@ -423,12 +536,45 @@ LdapResult UdrNf::DoAdd(const LdapRequest& request, uint32_t poa_site) {
   return r;
 }
 
+StatusOr<std::vector<routing::Mutation>> UdrNf::MutationsFrom(
+    const LdapRequest& request) const {
+  std::vector<routing::Mutation> muts;
+  muts.reserve(request.mods.size());
+  for (const ldap::Modification& mod : request.mods) {
+    if (IsIdentityAttr(mod.attr)) {
+      return Status::FailedPrecondition(
+          "identity attributes are immutable; delete and re-add");
+    }
+    routing::Mutation m;
+    switch (mod.type) {
+      case ldap::ModType::kAdd:
+      case ldap::ModType::kReplace:
+        m.kind = routing::Mutation::Kind::kSet;
+        m.attr = mod.attr;
+        m.value = mod.value;
+        break;
+      case ldap::ModType::kDelete:
+        m.kind = routing::Mutation::Kind::kRemove;
+        m.attr = mod.attr;
+        break;
+    }
+    muts.push_back(std::move(m));
+  }
+  return muts;
+}
+
 LdapResult UdrNf::DoModify(const LdapRequest& request, uint32_t poa_site) {
   LdapResult r;
   auto identity = RequestIdentity(request);
   if (!identity.ok()) {
     r.code = StatusToLdapCode(identity.status());
     r.diagnostic = identity.status().message();
+    return r;
+  }
+  auto muts = MutationsFrom(request);
+  if (!muts.ok()) {
+    r.code = StatusToLdapCode(muts.status());
+    r.diagnostic = muts.status().message();
     return r;
   }
   RouteResult route = router_.Route(*identity, poa_site);
@@ -439,19 +585,16 @@ LdapResult UdrNf::DoModify(const LdapRequest& request, uint32_t poa_site) {
     return r;
   }
   WriteBuilder wb;
-  for (const ldap::Modification& mod : request.mods) {
-    if (IsIdentityAttr(mod.attr)) {
-      r.code = LdapResultCode::kUnwillingToPerform;
-      r.diagnostic = "identity attributes are immutable; delete and re-add";
-      return r;
-    }
-    switch (mod.type) {
-      case ldap::ModType::kAdd:
-      case ldap::ModType::kReplace:
-        wb.Set(route.key, mod.attr, mod.value);
+  for (const routing::Mutation& m : *muts) {
+    switch (m.kind) {
+      case routing::Mutation::Kind::kSet:
+        wb.Set(route.key, m.attr, m.value);
         break;
-      case ldap::ModType::kDelete:
-        wb.Remove(route.key, mod.attr);
+      case routing::Mutation::Kind::kRemove:
+        wb.Remove(route.key, m.attr);
+        break;
+      case routing::Mutation::Kind::kDeleteRecord:
+        wb.Delete(route.key);
         break;
     }
   }
@@ -505,7 +648,8 @@ LdapResult UdrNf::DoCompare(const LdapRequest& request, uint32_t poa_site) {
     r.diagnostic = identity.status().message();
     return r;
   }
-  RouteResult route = router_.Route(*identity, poa_site);
+  RouteResult route =
+      router_.Route(*identity, poa_site, routing::RouteIntent::kRead);
   r.latency += route.resolve_cost;
   if (!route.status.ok()) {
     r.code = StatusToLdapCode(route.status);
@@ -525,6 +669,150 @@ LdapResult UdrNf::DoCompare(const LdapRequest& request, uint32_t poa_site) {
                ? LdapResultCode::kCompareTrue
                : LdapResultCode::kCompareFalse;
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// Batched data path (multi-op LDAP messages)
+// ---------------------------------------------------------------------------
+
+StatusOr<routing::Operation> UdrNf::OperationFrom(
+    const LdapRequest& request) const {
+  UDR_ASSIGN_OR_RETURN(Identity identity, RequestIdentity(request));
+  switch (request.op) {
+    case ldap::LdapOp::kSearch:
+      return routing::Operation::ReadRecord(std::move(identity),
+                                            ReadPrefFor(request));
+    case ldap::LdapOp::kCompare:
+      return routing::Operation::ReadAttribute(
+          std::move(identity), request.compare_attr, ReadPrefFor(request));
+    case ldap::LdapOp::kModify: {
+      UDR_ASSIGN_OR_RETURN(std::vector<routing::Mutation> muts,
+                           MutationsFrom(request));
+      return routing::Operation::Write(std::move(identity), std::move(muts));
+    }
+    default:
+      return Status::Unimplemented(
+          std::string(ldap::LdapOpName(request.op)) +
+          " does not ride the batch pipeline");
+  }
+}
+
+LdapResult UdrNf::ResultFromOutcome(const LdapRequest& request,
+                                    const routing::OpOutcome& outcome) {
+  LdapResult r;
+  r.latency = outcome.latency;
+  r.stale = outcome.stale;
+  if (!outcome.ok()) {
+    if (request.op == ldap::LdapOp::kModify) metrics_.Add("udr.modify.failed");
+    r.code = StatusToLdapCode(outcome.status);
+    r.diagnostic = outcome.status.message();
+    return r;
+  }
+  switch (request.op) {
+    case ldap::LdapOp::kSearch: {
+      if (!outcome.record.has_value()) {
+        r.code = LdapResultCode::kNoSuchObject;
+        r.diagnostic = "record missing from batch outcome";
+        return r;
+      }
+      MicroDuration latency = r.latency;
+      r = SearchResultFor(request, *outcome.record);
+      r.latency = latency;
+      r.stale = outcome.stale;
+      if (r.ok()) metrics_.Add("udr.search.ok");
+      return r;
+    }
+    case ldap::LdapOp::kCompare:
+      r.code = outcome.value.has_value() &&
+                       storage::ValueToString(*outcome.value) ==
+                           request.compare_value
+                   ? LdapResultCode::kCompareTrue
+                   : LdapResultCode::kCompareFalse;
+      return r;
+    case ldap::LdapOp::kModify:
+      r.code = LdapResultCode::kSuccess;
+      metrics_.Add("udr.modify.ok");
+      return r;
+    default:
+      r.code = LdapResultCode::kOperationsError;
+      r.diagnostic = "unbatchable op in batch outcome";
+      return r;
+  }
+}
+
+ldap::LdapBatchResult UdrNf::ProcessBatch(
+    const std::vector<LdapRequest>& requests, uint32_t poa_site) {
+  ldap::LdapBatchResult out;
+  out.results.resize(requests.size());
+
+  routing::BatchRequest batch;
+  std::vector<size_t> batch_idx;  // Pipeline op -> request index.
+  auto flush = [&]() {
+    if (batch.empty()) return;
+    routing::BatchResult br = router_.RouteBatch(batch, poa_site);
+    out.latency += br.latency;
+    out.partition_groups += br.partition_groups;
+    out.bypass_hits += br.bypass_hits;
+    for (size_t j = 0; j < br.outcomes.size(); ++j) {
+      out.results[batch_idx[j]] =
+          ResultFromOutcome(requests[batch_idx[j]], br.outcomes[j]);
+    }
+    batch.ops.clear();
+    batch_idx.clear();
+  };
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const LdapRequest& req = requests[i];
+    if (req.op == ldap::LdapOp::kSearch || req.op == ldap::LdapOp::kCompare ||
+        req.op == ldap::LdapOp::kModify) {
+      auto op = OperationFrom(req);
+      if (!op.ok()) {
+        out.results[i].code = StatusToLdapCode(op.status());
+        out.results[i].diagnostic = op.status().message();
+        continue;
+      }
+      batch.Add(*std::move(op));
+      batch_idx.push_back(i);
+      continue;
+    }
+    // Add / Delete carry placement and binding side effects the pipeline
+    // does not model; flush the pending run so per-key order holds, then
+    // execute in place.
+    flush();
+    out.results[i] = Process(req, poa_site);
+    out.latency += out.results[i].latency;
+  }
+  flush();
+
+  metrics_.Add("udr.batch.count");
+  metrics_.Add("udr.batch.ops", static_cast<int64_t>(requests.size()));
+  if (!out.ok()) metrics_.Add("udr.batch.failed_ops", out.failed_ops());
+  return out;
+}
+
+LdapBatchResult UdrNf::SubmitBatch(const std::vector<LdapRequest>& requests,
+                                   sim::SiteId client_site) {
+  auto poa = router_.FindPoaCluster(client_site);
+  if (!poa.ok()) {
+    LdapBatchResult out;
+    out.results.resize(requests.size());
+    for (LdapResult& r : out.results) {
+      r.code = LdapResultCode::kUnavailable;
+      r.diagnostic = poa.status().message();
+    }
+    out.latency = network_->rpc_timeout();
+    metrics_.Add("udr.submit.unavailable");
+    return out;
+  }
+  BladeCluster* cluster = clusters_[*poa].get();
+  LdapBatchResult result =
+      cluster->balancer().ServeBatch(requests, cluster->site());
+  // One client <-> PoA round trip for the whole multi-op message — the
+  // per-request transit the batch saves over Submit-per-op.
+  result.latency += network_->topology().Rtt(client_site, cluster->site()) +
+                    network_->topology().HopOverhead();
+  metrics_.Add(result.ok() ? "udr.submit.ok" : "udr.submit.failed");
+  return result;
 }
 
 }  // namespace udr::udrnf

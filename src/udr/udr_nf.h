@@ -62,8 +62,20 @@ struct UdrConfig {
   /// Partitions commissioned per storage element; > 1 gives the rebalancer
   /// finer-grained migration units on scale-out.
   int partitions_per_se = 1;
-  /// Fallback placement policy under selective placement.
+  /// What Rebalance() balances: primary-copy count (default) or primary-
+  /// hosted subscriber population per storage element.
+  routing::RebalanceWeight rebalance_weight =
+      routing::RebalanceWeight::kPrimaryCount;
+  /// Fallback placement policy under selective placement. kHash disables the
+  /// selective wrapper (§3.5: hashing cannot honor a home site) and keys
+  /// records by identity hash, enabling the router's location bypass.
   routing::PlacementKind placement = routing::PlacementKind::kLeastLoaded;
+  /// Under kHash placement: let reads skip the location stage via the
+  /// router's hash bypass (ROADMAP: hash-routed reads).
+  bool hash_routed_reads = true;
+  /// Identity type hash placement keys records by (and the only type the
+  /// bypass may route — any other type would hash onto the wrong ring).
+  location::IdentityType hash_identity_type = location::IdentityType::kImsi;
   storage::StorageElementConfig se_template;
   ldap::LdapServerConfig ldap_template;
   location::LocationCostModel location_model;
@@ -94,7 +106,9 @@ class UdrNf : public ldap::LdapBackend {
   /// Creates replica sets until every storage element primary-hosts the
   /// configured number of partitions. Called lazily by CreateSubscriber;
   /// call explicitly after initial deployment for deterministic layouts.
-  void CommissionPartitions() { map_.Commission(); }
+  /// Under hash placement a grown ring re-homes the ~K/N subscribers whose
+  /// ring owner changed, keeping the location bypass correct.
+  void CommissionPartitions() { Commission(); }
 
   /// Live rebalancing after scale-out: migrates primary copies onto
   /// under-loaded storage elements (per-SE primary-count spread <= 1) via
@@ -123,11 +137,23 @@ class UdrNf : public ldap::LdapBackend {
   ldap::LdapResult Submit(const ldap::LdapRequest& request,
                           sim::SiteId client_site);
 
+  /// Submits a multi-op request (one signaling event's LDAP ops) as a single
+  /// northbound message: one client<->PoA round trip, then the staged batch
+  /// pipeline (resolve all, group by partition, grouped dispatch).
+  ldap::LdapBatchResult SubmitBatch(const std::vector<ldap::LdapRequest>& requests,
+                                    sim::SiteId client_site);
+
   // -- ldap::LdapBackend ----------------------------------------------------------
 
   /// Request semantics, entered at the PoA of `poa_site`.
   ldap::LdapResult Process(const ldap::LdapRequest& request,
                            uint32_t poa_site) override;
+
+  /// Multi-op request semantics: batchable verbs (search, compare, modify)
+  /// ride the routing::Router::RouteBatch pipeline; Add/Delete flush the
+  /// pending run and execute per-op in place, preserving request order.
+  ldap::LdapBatchResult ProcessBatch(const std::vector<ldap::LdapRequest>& requests,
+                                     uint32_t poa_site) override;
 
   // -- Internal administration -----------------------------------------------------
 
@@ -185,6 +211,13 @@ class UdrNf : public ldap::LdapBackend {
       const storage::Record& record) const;
   std::unique_ptr<location::LocationStage> MakeLocationStage();
 
+  /// Commission() plus, under PlacementKind::kHash, re-homing of every
+  /// subscriber whose ring owner changed when new partitions joined — the
+  /// consistent-hashing data migration that keeps {partition, key} a pure
+  /// function of the identity (and so the location bypass correct).
+  void Commission();
+  void RehomeHashKeyed();
+
   ldap::LdapResult DoSearch(const ldap::LdapRequest& request, uint32_t poa_site);
   ldap::LdapResult DoAdd(const ldap::LdapRequest& request, uint32_t poa_site);
   ldap::LdapResult DoModify(const ldap::LdapRequest& request, uint32_t poa_site);
@@ -196,6 +229,26 @@ class UdrNf : public ldap::LdapBackend {
       const ldap::LdapRequest& request) const;
 
   replication::ReadPreference ReadPrefFor(const ldap::LdapRequest& request) const;
+
+  /// Filter match + attribute projection over a fetched record (the verb
+  /// semantics of Search after the data path returned the record). Latency
+  /// and staleness are the caller's to fill.
+  ldap::LdapResult SearchResultFor(const ldap::LdapRequest& request,
+                                   const storage::Record& record) const;
+
+  /// Translates a Modify request into pipeline mutations; FailedPrecondition
+  /// when it touches an immutable identity attribute.
+  StatusOr<std::vector<routing::Mutation>> MutationsFrom(
+      const ldap::LdapRequest& request) const;
+
+  /// Translates one batchable request into a pipeline operation.
+  StatusOr<routing::Operation> OperationFrom(
+      const ldap::LdapRequest& request) const;
+
+  /// Maps one pipeline outcome back onto the request's LDAP result,
+  /// keeping the per-verb metrics in parity with the per-op path.
+  ldap::LdapResult ResultFromOutcome(const ldap::LdapRequest& request,
+                                     const routing::OpOutcome& outcome);
 
   UdrConfig config_;
   sim::Network* network_;

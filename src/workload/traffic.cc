@@ -21,10 +21,11 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
   std::vector<std::unique_ptr<HlrFe>> hlr_fes;
   std::vector<std::unique_ptr<HssFe>> hss_fes;
   for (uint32_t s = 0; s < bed.options().sites; ++s) {
-    hlr_fes.push_back(std::make_unique<HlrFe>(s, &bed.udr()));
-    hss_fes.push_back(std::make_unique<HssFe>(s, &bed.udr()));
+    hlr_fes.push_back(std::make_unique<HlrFe>(s, &bed.udr(), opts.batched));
+    hss_fes.push_back(std::make_unique<HssFe>(s, &bed.udr(), opts.batched));
   }
-  telecom::ProvisioningSystem ps({opts.ps_site, 0}, &bed.udr(), &bed.factory());
+  telecom::ProvisioningSystem ps({opts.ps_site, 0, opts.batched}, &bed.udr(),
+                                 &bed.factory());
 
   const MicroDuration fe_gap =
       opts.fe_rate_per_sec > 0

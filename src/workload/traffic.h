@@ -28,6 +28,10 @@ struct TrafficOptions {
   uint64_t subscriber_count = 1000; ///< Population to draw subscribers from.
   uint64_t seed = 7;
   sim::SiteId ps_site = 0;          ///< PS is co-located with this PoA.
+  /// Ship each procedure's ops as ONE multi-op message through the batched
+  /// data-path pipeline (FE procedures and PS read-modify-writes) instead of
+  /// one northbound round trip per op.
+  bool batched = false;
 };
 
 /// Aggregated statistics for one traffic class.

@@ -412,6 +412,70 @@ TEST(RebalanceTest, ScaleOutRebalanceBalancesPrimariesWithoutLosingWrites) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Population-weighted rebalancing
+// ---------------------------------------------------------------------------
+
+/// Deploys 3 sites (12 partitions over 6 SEs) and pins every subscriber to
+/// site 0, so the two site-0 SEs primary-host the whole population while the
+/// per-SE primary *count* stays perfectly balanced.
+workload::Testbed SkewedPopulationBed(RebalanceWeight weight) {
+  workload::TestbedOptions o;
+  o.sites = 3;
+  o.udr.partitions_per_se = 2;
+  o.udr.rebalance_weight = weight;
+  workload::Testbed bed(o);
+  for (uint64_t i = 0; i < 200; ++i) {
+    auto spec = bed.factory().MakeSpec(i, sim::SiteId{0});
+    EXPECT_TRUE(bed.udr().CreateSubscriber(spec, 0).ok()) << i;
+  }
+  return bed;
+}
+
+TEST(RebalanceTest, CountWeightedRebalanceIgnoresPopulationSkew) {
+  workload::Testbed bed = SkewedPopulationBed(RebalanceWeight::kPrimaryCount);
+  auto& map = bed.udr().partition_map();
+  ASSERT_EQ(map.PrimarySpread(), 0);       // Counts are already balanced...
+  ASSERT_GT(map.PopulationSpread(), 0);    // ... but the population is not.
+  auto report = bed.udr().Rebalance();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->moves.empty());      // Count mode sees nothing to do.
+}
+
+TEST(RebalanceTest, PopulationWeightedRebalanceSpreadsSubscribers) {
+  workload::Testbed bed = SkewedPopulationBed(RebalanceWeight::kPopulation);
+  auto& udr = bed.udr();
+  auto& map = udr.partition_map();
+  int64_t skew_before = map.PopulationSpread();
+  ASSERT_GT(skew_before, 0);
+
+  auto report = udr.Rebalance();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->moves.empty());
+  EXPECT_EQ(report->population_spread_before, skew_before);
+  EXPECT_LT(report->population_spread_after, skew_before);
+  EXPECT_EQ(map.PopulationSpread(), report->population_spread_after);
+  // With 4 equally filled partitions on the hot SEs the greedy pass halves
+  // the spread at worst.
+  EXPECT_LE(report->population_spread_after, skew_before / 2);
+
+  // No acknowledged write lost: every subscriber still resolves and reads.
+  for (uint64_t i = 0; i < 200; ++i) {
+    location::Identity id = bed.factory().Make(i).ImsiId();
+    auto loc = udr.AuthoritativeLookup(id);
+    ASSERT_TRUE(loc.ok()) << id.ToString();
+    auto record =
+        udr.partition(loc->partition)
+            ->ReadRecord(0, loc->key, replication::ReadPreference::kMasterOnly);
+    ASSERT_TRUE(record.ok()) << id.ToString();
+  }
+
+  // A second pass finds no improving move: the greedy rebalance converged.
+  auto again = udr.Rebalance();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->moves.empty());
+}
+
 TEST(RebalanceTest, TestbedScaleOutHelper) {
   workload::TestbedOptions o;
   o.sites = 4;
