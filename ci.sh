@@ -20,6 +20,15 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "${JOBS}"
 
 echo "== Release: benchmark smoke (1 iteration each) =="
+# The loop globs every bench target, but the self-checking ones the
+# acceptance gates ride on must exist (a glob would silently skip a bench
+# that fell out of the build).
+for required in bench_batch_pipeline bench_coalescer; do
+  if [[ ! -x "build-release/bench/${required}" ]]; then
+    echo "SMOKE FAILED: required benchmark ${required} was not built"
+    exit 1
+  fi
+done
 bench_failed=0
 for bench in build-release/bench/bench_*; do
   [[ -x "${bench}" ]] || continue
@@ -54,6 +63,9 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DUDR_SANITIZE=ON
 cmake --build build-asan -j "${JOBS}"
 
 echo "== ASan/UBSan: ctest =="
+# Covers the whole suite, in particular the batched data path + coalescing
+# window tests (batch_test, coalescer_test) whose enqueue/demux paths move
+# the most state around.
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 

@@ -6,7 +6,9 @@
 #define UDR_LDAP_MESSAGE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -104,10 +106,15 @@ struct LdapResult {
 struct LdapBatchResult {
   std::vector<LdapResult> results;  ///< 1:1 with the submitted requests.
   /// Modelled end-to-end latency of the whole batch (one client round trip;
-  /// per-result latencies carry only each op's own service share).
+  /// per-result latencies carry only each op's own service share). Includes
+  /// `queue_delay` when the event sat in a coalescing window.
   MicroDuration latency = 0;
+  /// Share of `latency` spent parked in the PoA's cross-event dispatch
+  /// window waiting for it to close (0 on the inline path).
+  MicroDuration queue_delay = 0;
   int partition_groups = 0;  ///< Partition fan-out of the batch dispatch.
   int bypass_hits = 0;       ///< Ops served by the hash-routed fast path.
+  int coalesced_events = 0;  ///< Events sharing the dispatch window flush.
 
   bool ok() const {
     for (const LdapResult& r : results) {
@@ -138,6 +145,28 @@ class LdapBackend {
   /// overrides it with the staged batch pipeline.
   virtual LdapBatchResult ProcessBatch(const std::vector<LdapRequest>& requests,
                                        uint32_t client_site);
+
+  /// Enqueues a multi-op request for deferred execution and returns a handle
+  /// for collecting the result. The default realization executes immediately
+  /// (ProcessBatch) and stashes the result — no coalescing gain; the UDR
+  /// data path overrides it to park the event in the PoA's cross-event
+  /// dispatch window.
+  virtual uint64_t EnqueueBatch(const std::vector<LdapRequest>& requests,
+                                uint32_t client_site);
+
+  /// Claims the result of an enqueued request; nullopt while it is still
+  /// pending (its dispatch window has not closed). A claimed result is
+  /// removed from the backend.
+  virtual std::optional<LdapBatchResult> TakeBatchResult(uint64_t handle);
+
+ protected:
+  /// Allocates a backend-unique enqueue handle (shared by overrides so a
+  /// handle never collides between realizations of the enqueue path).
+  uint64_t NextEnqueueHandle() { return next_enqueue_handle_++; }
+
+ private:
+  uint64_t next_enqueue_handle_ = 1;
+  std::unordered_map<uint64_t, LdapBatchResult> enqueued_results_;
 };
 
 }  // namespace udr::ldap

@@ -8,7 +8,9 @@
 #define UDR_LDAP_SERVER_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -59,6 +61,31 @@ class LdapServer {
     return result;
   }
 
+  /// Enqueues one multi-op request into the backend's dispatch window. The
+  /// protocol processing happens at enqueue; its cost is charged onto the
+  /// result when it is taken.
+  uint64_t EnqueueBatch(const std::vector<LdapRequest>& requests,
+                        sim::SiteId client_site) {
+    uint64_t handle = backend_->EnqueueBatch(requests, client_site);
+    pending_cost_[handle] =
+        config_.per_op_cost * static_cast<int64_t>(requests.size());
+    ops_served_ += static_cast<int64_t>(requests.size());
+    return handle;
+  }
+
+  /// Claims the result of an enqueued request once its window flushed.
+  std::optional<LdapBatchResult> TakeBatch(uint64_t handle) {
+    std::optional<LdapBatchResult> result = backend_->TakeBatchResult(handle);
+    if (result.has_value()) {
+      auto it = pending_cost_.find(handle);
+      if (it != pending_cost_.end()) {
+        result->latency += it->second;
+        pending_cost_.erase(it);
+      }
+    }
+    return result;
+  }
+
   int64_t ops_served() const { return ops_served_; }
 
   /// Advertised capacity in operations per second (1 / per_op_cost).
@@ -71,6 +98,8 @@ class LdapServer {
   LdapBackend* backend_;
   bool healthy_ = true;
   int64_t ops_served_ = 0;
+  /// Protocol cost owed per enqueued-but-not-yet-taken request.
+  std::unordered_map<uint64_t, MicroDuration> pending_cost_;
 };
 
 /// L4-capable IP balancer realizing the Point of Access (PoA) to the UDR:
@@ -137,6 +166,27 @@ class L4Balancer {
     return (*picked)->ServeBatch(requests, client_site);
   }
 
+  /// Enqueues a whole multi-op request through one server into the PoA's
+  /// cross-event dispatch window (the event is one protocol message; the
+  /// serving instance is remembered so the result can be claimed from it).
+  StatusOr<uint64_t> EnqueueBatch(const std::vector<LdapRequest>& requests,
+                                  sim::SiteId client_site) {
+    auto picked = Pick();
+    if (!picked.ok()) return picked.status();
+    uint64_t handle = (*picked)->EnqueueBatch(requests, client_site);
+    enqueued_[handle] = *picked;
+    return handle;
+  }
+
+  /// Claims the result of an enqueued request once its window flushed.
+  std::optional<LdapBatchResult> TakeBatch(uint64_t handle) {
+    auto it = enqueued_.find(handle);
+    if (it == enqueued_.end()) return std::nullopt;
+    std::optional<LdapBatchResult> result = it->second->TakeBatch(handle);
+    if (result.has_value()) enqueued_.erase(it);
+    return result;
+  }
+
   /// Aggregate ops/s capacity of the healthy servers.
   int64_t OpsPerSecondCapacity() const {
     int64_t total = 0;
@@ -150,6 +200,8 @@ class L4Balancer {
   sim::SiteId site_;
   std::vector<LdapServer*> servers_;
   size_t next_ = 0;
+  /// Server owning each in-flight enqueued request.
+  std::unordered_map<uint64_t, LdapServer*> enqueued_;
 };
 
 }  // namespace udr::ldap

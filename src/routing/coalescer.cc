@@ -1,0 +1,97 @@
+#include "routing/coalescer.h"
+
+#include <string>
+#include <utility>
+
+namespace udr::routing {
+
+Coalescer::Coalescer(CoalescerConfig config, Router* router,
+                     const sim::SimClock* clock, Metrics* metrics)
+    : config_(config), router_(router), clock_(clock), metrics_(metrics) {}
+
+EventId Coalescer::Submit(BatchRequest event) {
+  const EventId id = next_id_++;
+  if (event.empty()) {
+    // Nothing to dispatch: complete immediately without opening a window.
+    EventOutcome out;
+    completed_.emplace(id, std::move(out));
+    return id;
+  }
+  if (pending_.empty()) deadline_ = clock_->Now() + config_.window;
+  pending_ops_ += event.size();
+  pending_.push_back(Parked{id, std::move(event), clock_->Now()});
+  metrics_->Add("coalescer.events");
+
+  if (config_.window <= 0) {
+    Flush("passthrough");
+  } else if (config_.max_ops > 0 && pending_ops_ >= config_.max_ops) {
+    Flush("cap");
+  }
+  return id;
+}
+
+bool Coalescer::FlushIfDue() {
+  if (pending_.empty() || clock_->Now() < deadline_) return false;
+  Flush("deadline");
+  return true;
+}
+
+void Coalescer::FlushNow() {
+  if (pending_.empty()) return;
+  Flush("barrier");
+}
+
+void Coalescer::Flush(const char* reason) {
+  if (pending_.empty()) return;
+
+  // One aggregate batch in arrival order: per-key order across events is
+  // arrival order, matching what serial execution of the events would do.
+  BatchRequest agg;
+  agg.ops.reserve(pending_ops_);
+  for (Parked& parked : pending_) {
+    for (Operation& op : parked.event.ops) agg.ops.push_back(std::move(op));
+  }
+  BatchResult flush = router_->RouteBatch(agg, config_.poa_site);
+
+  ++flushes_;
+  metrics_->Add(std::string("coalescer.flush.") + reason);
+  metrics_->Observe("coalescer.flush.ops", static_cast<int64_t>(agg.size()));
+  metrics_->Observe("coalescer.flush.events",
+                    static_cast<int64_t>(pending_.size()));
+  metrics_->Observe("coalescer.flush.groups", flush.partition_groups);
+
+  // Demultiplex: outcomes [cursor, cursor + event size) belong to each event
+  // in arrival order. Every event completes when the shared dispatch does.
+  const MicroTime now = clock_->Now();
+  size_t cursor = 0;
+  for (Parked& parked : pending_) {
+    EventOutcome out;
+    out.coalesced_events = static_cast<int>(pending_.size());
+    out.partition_groups = flush.partition_groups;
+    out.queue_delay = now - parked.arrival;
+    out.service_latency = flush.latency;
+    out.outcomes.reserve(parked.event.size());
+    for (size_t i = 0; i < parked.event.size(); ++i) {
+      OpOutcome& op = flush.outcomes[cursor++];
+      if (!op.ok()) ++out.failed_ops;
+      if (op.bypassed_location) ++out.bypass_hits;
+      out.outcomes.push_back(std::move(op));
+    }
+    metrics_->Observe("coalescer.queue_delay_us", out.queue_delay);
+    completed_.emplace(parked.id, std::move(out));
+  }
+
+  pending_.clear();
+  pending_ops_ = 0;
+  deadline_ = kTimeInfinity;
+}
+
+std::optional<EventOutcome> Coalescer::Take(EventId id) {
+  auto it = completed_.find(id);
+  if (it == completed_.end()) return std::nullopt;
+  EventOutcome out = std::move(it->second);
+  completed_.erase(it);
+  return out;
+}
+
+}  // namespace udr::routing

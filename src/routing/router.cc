@@ -67,6 +67,11 @@ void Router::Bind(const Identity& id, const LocationEntry& entry) {
 
 void Router::Unbind(const Identity& id) {
   authoritative_.erase(id);
+  // An unbound identity must not pin a bypass exception: the exception list
+  // exists to protect live bindings the hash would misroute, and a leaked
+  // entry would linger forever (and silently disable the fast path if the
+  // identity is ever provisioned again).
+  bypass_exceptions_.erase(id);
   for (const Poa& poa : poas_) {
     if (poa.stage != nullptr) (void)poa.stage->Unbind(id);
   }

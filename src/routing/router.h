@@ -124,7 +124,9 @@ class Router {
   /// Excludes one identity from the bypass: its reads fall back to the
   /// location stage until cleared. Used by the deployment layer when a
   /// subscriber's record could not be re-homed to its ring owner (the stage
-  /// still knows the true location; the hash would misroute).
+  /// still knows the true location; the hash would misroute). The entry's
+  /// lifetime is tied to the binding: Unbind drops it, so a deleted
+  /// subscriber cannot leak an exception.
   void AddBypassException(const location::Identity& id) {
     bypass_exceptions_.insert(id);
   }

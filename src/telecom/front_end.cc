@@ -66,19 +66,45 @@ void FrontEnd::Fold(const ldap::LdapResult& r, ProcedureResult* out) {
   }
 }
 
+void FrontEnd::FoldBatch(const ldap::LdapBatchResult& batch,
+                         ProcedureResult* out) {
+  for (const ldap::LdapResult& r : batch.results) {
+    ldap::LdapResult shadow = r;
+    shadow.latency = 0;  // The batch latency is not a per-op sum.
+    Fold(shadow, out);
+  }
+  out->latency = batch.latency;
+  out->queue_delay = batch.queue_delay;
+}
+
+std::optional<ProcedureResult> FrontEnd::TakeDeferred(uint64_t handle) {
+  std::optional<ldap::LdapBatchResult> batch = udr_->TakeEvent(handle);
+  if (!batch.has_value()) return std::nullopt;
+  ProcedureResult out;
+  FoldBatch(*batch, &out);
+  Count(out);
+  return out;
+}
+
 ProcedureResult FrontEnd::RunOps(
     const std::vector<ldap::LdapRequest>& requests) {
   ProcedureResult out;
-  if (batched_) {
-    // One multi-op message: per-op results fold for failure/staleness
-    // accounting, the procedure latency is the batch's end-to-end latency.
-    ldap::LdapBatchResult batch = udr_->SubmitBatch(requests, site_);
-    for (const ldap::LdapResult& r : batch.results) {
-      ldap::LdapResult shadow = r;
-      shadow.latency = 0;  // The batch latency is not a per-op sum.
-      Fold(shadow, &out);
+  if (deferred_) {
+    // The whole op list parks in the PoA's cross-event dispatch window; the
+    // procedure completes when the window flushes (TakeDeferred). Counting
+    // happens at collection, so in-flight procedures are not yet scored.
+    auto handle = udr_->SubmitEvent(requests, site_);
+    if (handle.ok()) {
+      out.pending = *handle;
+      return out;
     }
-    out.latency = batch.latency;
+    out.status = handle.status();
+    out.failed_ops = static_cast<int>(requests.size());
+    Count(out);
+    return out;
+  }
+  if (batched_) {
+    FoldBatch(udr_->SubmitBatch(requests, site_), &out);
   } else {
     for (const ldap::LdapRequest& req : requests) {
       Fold(udr_->Submit(req, site_), &out);

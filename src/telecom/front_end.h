@@ -6,6 +6,7 @@
 #ifndef UDR_TELECOM_FRONT_END_H_
 #define UDR_TELECOM_FRONT_END_H_
 
+#include <optional>
 #include <string>
 
 #include "common/status.h"
@@ -19,11 +20,18 @@ namespace udr::telecom {
 struct ProcedureResult {
   Status status;
   MicroDuration latency = 0;  ///< Sum of the procedure's UDR op latencies.
+  /// Share of `latency` spent parked in the PoA's cross-event dispatch
+  /// window (deferred procedures only; 0 on the inline paths).
+  MicroDuration queue_delay = 0;
   int ldap_ops = 0;           ///< LDAP operations issued.
   int failed_ops = 0;         ///< Operations that did not succeed.
   bool any_stale = false;     ///< Any read served stale from a slave copy.
+  /// Set while the procedure is parked in the PoA coalescing window: the
+  /// real outcome is collected with FrontEnd::TakeDeferred(*pending).
+  std::optional<uint64_t> pending;
 
   bool ok() const { return status.ok(); }
+  bool deferred() const { return pending.has_value(); }
 };
 
 /// Common base: a front-end instance deployed at a site, talking to the UDR.
@@ -47,6 +55,17 @@ class FrontEnd {
   bool batched() const { return batched_; }
   void set_batched(bool batched) { batched_ = batched; }
 
+  /// Deferred mode: procedures enqueue their op list into the UDR's PoA
+  /// coalescing window (UdrNf::SubmitEvent) instead of executing inline and
+  /// return a ProcedureResult whose `pending` handle names the parked event.
+  /// Collect the real outcome with TakeDeferred once the window flushed.
+  bool deferred() const { return deferred_; }
+  void set_deferred(bool deferred) { deferred_ = deferred; }
+
+  /// Collects a deferred procedure's outcome; nullopt while its dispatch
+  /// window is still open (pump the UDR and retry).
+  std::optional<ProcedureResult> TakeDeferred(uint64_t handle);
+
   int64_t procedures_ok() const { return procedures_ok_; }
   int64_t procedures_failed() const { return procedures_failed_; }
 
@@ -67,6 +86,12 @@ class FrontEnd {
   /// Folds an LDAP result into a procedure result.
   static void Fold(const ldap::LdapResult& r, ProcedureResult* out);
 
+  /// Folds a whole multi-op message: per-op results score failure/staleness,
+  /// the procedure latency is the batch's end-to-end latency (not a per-op
+  /// sum). Shared by the batched and deferred paths.
+  static void FoldBatch(const ldap::LdapBatchResult& batch,
+                        ProcedureResult* out);
+
   void Count(const ProcedureResult& r) {
     if (r.ok()) ++procedures_ok_;
     else ++procedures_failed_;
@@ -76,6 +101,7 @@ class FrontEnd {
   sim::SiteId site_;
   udrnf::UdrNf* udr_;
   bool batched_ = false;
+  bool deferred_ = false;
   int64_t procedures_ok_ = 0;
   int64_t procedures_failed_ = 0;
 };

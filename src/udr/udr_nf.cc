@@ -112,6 +112,18 @@ StatusOr<BladeCluster*> UdrNf::AddCluster(sim::SiteId site) {
   cluster->SetLocationStage(std::move(stage));
   router_.RegisterPoa(cluster->id(), site, cluster->location_stage());
 
+  // The PoA's cross-event dispatch window. With coalesce_window_us == 0 the
+  // coalescer is a passthrough and the enqueue path short-circuits to
+  // ProcessBatch, so deployments without the knob pay nothing.
+  routing::CoalescerConfig cc;
+  cc.window = config_.coalesce_window_us;
+  cc.max_ops = config_.coalesce_max_ops > 0
+                   ? static_cast<size_t>(config_.coalesce_max_ops)
+                   : 0;
+  cc.poa_site = site;
+  coalescers_.push_back(std::make_unique<routing::Coalescer>(
+      cc, &router_, network_->clock(), &metrics_));
+
   clusters_.push_back(std::move(cluster));
   return clusters_.back().get();
 }
@@ -225,7 +237,15 @@ void UdrNf::RehomeHashKeyed() {
   for (const auto& [id, entry] : router_.bindings()) {
     if (id.type != config_.hash_identity_type) continue;
     uint32_t owner = map_.PartitionOfIdentity(id);
-    if (owner != entry.partition) moves.push_back({id, entry, owner});
+    if (owner != entry.partition) {
+      moves.push_back({id, entry, owner});
+    } else {
+      // The ring owner agrees with the provisioned location again (e.g. a
+      // later ring change undid the split that once stranded this
+      // subscriber): any bypass exception left from a failed re-home is
+      // obsolete and would pin the slow path forever.
+      router_.ClearBypassException(id);
+    }
   }
   for (const Move& m : moves) {
     ReplicaSet* from = map_.partition(m.from.partition);
@@ -351,6 +371,9 @@ Status UdrNf::DeleteSubscriber(const Identity& id, sim::SiteId origin_site) {
   replication::WriteResult write = rs->Write(origin_site, std::move(wb).Build());
   if (!write.status.ok()) return write.status;
 
+  // Unbind drops every identity's bypass exception too, so a subscriber that
+  // landed on the exception list during a failed re-home does not leak an
+  // entry past its own deletion.
   for (const Identity& sub_id : IdentitiesOfRecord(*record)) {
     router_.Unbind(sub_id);
   }
@@ -740,47 +763,124 @@ LdapResult UdrNf::ResultFromOutcome(const LdapRequest& request,
   }
 }
 
+ldap::LdapResult UdrNf::FinishBatchedDelete(const Identity& id,
+                                            const routing::OpOutcome& read,
+                                            const routing::OpOutcome& write) {
+  LdapResult r;
+  r.latency = read.latency + write.latency;
+  if (!read.ok()) {
+    r.code = StatusToLdapCode(read.status);
+    r.diagnostic = read.status.message();
+    return r;
+  }
+  if (!write.ok()) {
+    r.code = StatusToLdapCode(write.status);
+    r.diagnostic = write.status.message();
+    return r;
+  }
+  // Same bookkeeping as DeleteSubscriber; Unbind also drops any bypass
+  // exception each identity held, so delete churn cannot leak entries.
+  for (const Identity& sub_id : IdentitiesOfRecord(*read.record)) {
+    router_.Unbind(sub_id);
+  }
+  router_.Unbind(id);
+  map_.AddPopulation(write.partition, -1);
+  --subscriber_count_;
+  metrics_.Add("udr.delete.ok");
+  r.code = LdapResultCode::kSuccess;
+  return r;
+}
+
+template <typename InlineExec>
+UdrNf::RequestSlot UdrNf::SlotFor(const LdapRequest& request,
+                                  routing::BatchRequest* batch,
+                                  InlineExec&& inline_exec) {
+  RequestSlot slot;
+  switch (request.op) {
+    case ldap::LdapOp::kSearch:
+    case ldap::LdapOp::kCompare:
+    case ldap::LdapOp::kModify: {
+      auto op = OperationFrom(request);
+      if (!op.ok()) {
+        slot.inline_result.code = StatusToLdapCode(op.status());
+        slot.inline_result.diagnostic = op.status().message();
+        return slot;
+      }
+      slot.kind = RequestSlot::Kind::kPipeline;
+      slot.op = batch->size();
+      batch->Add(*std::move(op));
+      return slot;
+    }
+    case ldap::LdapOp::kDelete: {
+      auto identity = RequestIdentity(request);
+      if (!identity.ok()) {
+        slot.inline_result.code = StatusToLdapCode(identity.status());
+        slot.inline_result.diagnostic = identity.status().message();
+        return slot;
+      }
+      // A Delete rides the grouped windows as a master-only whole-record
+      // read (existence check + the identity set to unbind) followed by a
+      // delete-record write; per-key order makes the read observe the
+      // record exactly as a solo DeleteSubscriber would.
+      slot.kind = RequestSlot::Kind::kDelete;
+      slot.identity = *identity;
+      slot.op = batch->size();
+      batch->Add(routing::Operation::ReadRecord(*identity,
+                                                ReadPreference::kMasterOnly));
+      slot.write_op = batch->size();
+      batch->Add(routing::Operation::Write(
+          *std::move(identity),
+          {{routing::Mutation::Kind::kDeleteRecord, "", storage::Value{}}}));
+      return slot;
+    }
+    default:
+      // Add (and anything unknown) carries placement side effects the
+      // pipeline does not model; the caller decides when it executes.
+      slot.inline_result = inline_exec(request);
+      return slot;
+  }
+}
+
 ldap::LdapBatchResult UdrNf::ProcessBatch(
     const std::vector<LdapRequest>& requests, uint32_t poa_site) {
   ldap::LdapBatchResult out;
   out.results.resize(requests.size());
 
   routing::BatchRequest batch;
-  std::vector<size_t> batch_idx;  // Pipeline op -> request index.
+  std::vector<std::pair<size_t, RequestSlot>> slots;  // request idx -> slot.
   auto flush = [&]() {
     if (batch.empty()) return;
     routing::BatchResult br = router_.RouteBatch(batch, poa_site);
     out.latency += br.latency;
     out.partition_groups += br.partition_groups;
     out.bypass_hits += br.bypass_hits;
-    for (size_t j = 0; j < br.outcomes.size(); ++j) {
-      out.results[batch_idx[j]] =
-          ResultFromOutcome(requests[batch_idx[j]], br.outcomes[j]);
+    for (auto& [idx, slot] : slots) {
+      out.results[idx] =
+          slot.kind == RequestSlot::Kind::kDelete
+              ? FinishBatchedDelete(slot.identity, br.outcomes[slot.op],
+                                    br.outcomes[slot.write_op])
+              : ResultFromOutcome(requests[idx], br.outcomes[slot.op]);
     }
     batch.ops.clear();
-    batch_idx.clear();
+    slots.clear();
   };
 
   for (size_t i = 0; i < requests.size(); ++i) {
-    const LdapRequest& req = requests[i];
-    if (req.op == ldap::LdapOp::kSearch || req.op == ldap::LdapOp::kCompare ||
-        req.op == ldap::LdapOp::kModify) {
-      auto op = OperationFrom(req);
-      if (!op.ok()) {
-        out.results[i].code = StatusToLdapCode(op.status());
-        out.results[i].diagnostic = op.status().message();
-        continue;
-      }
-      batch.Add(*std::move(op));
-      batch_idx.push_back(i);
-      continue;
+    bool executed_inline = false;
+    RequestSlot slot = SlotFor(requests[i], &batch,
+                               [&](const LdapRequest& req) {
+                                 // Flush the pending run so per-key order
+                                 // holds, then execute in place.
+                                 flush();
+                                 executed_inline = true;
+                                 return Process(req, poa_site);
+                               });
+    if (slot.kind == RequestSlot::Kind::kInline) {
+      if (executed_inline) out.latency += slot.inline_result.latency;
+      out.results[i] = std::move(slot.inline_result);
+    } else {
+      slots.emplace_back(i, std::move(slot));
     }
-    // Add / Delete carry placement and binding side effects the pipeline
-    // does not model; flush the pending run so per-key order holds, then
-    // execute in place.
-    flush();
-    out.results[i] = Process(req, poa_site);
-    out.latency += out.results[i].latency;
   }
   flush();
 
@@ -788,6 +888,186 @@ ldap::LdapBatchResult UdrNf::ProcessBatch(
   metrics_.Add("udr.batch.ops", static_cast<int64_t>(requests.size()));
   if (!out.ok()) metrics_.Add("udr.batch.failed_ops", out.failed_ops());
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-event coalescing (PoA dispatch window)
+// ---------------------------------------------------------------------------
+
+uint64_t UdrNf::EnqueueBatch(const std::vector<LdapRequest>& requests,
+                             uint32_t poa_site) {
+  const uint64_t handle = NextEnqueueHandle();
+  BladeCluster* cluster = ClusterAtSite(poa_site);
+  if (config_.coalesce_window_us <= 0 || cluster == nullptr) {
+    // Coalescing off: the enqueue path degenerates to the inline pipeline,
+    // byte-identical to ProcessBatch (the PR 2 behavior).
+    ready_events_.emplace(handle, ProcessBatch(requests, poa_site));
+    return handle;
+  }
+
+  routing::Coalescer& window = *coalescers_[cluster->id()];
+  for (const LdapRequest& req : requests) {
+    if (req.op == ldap::LdapOp::kAdd) {
+      // An Add cannot wait in the window (its placement/binding side effects
+      // must not be reordered against parked ops on the same keys), and its
+      // event's internal order must hold too. Close the window — everything
+      // that arrived earlier dispatches first, preserving arrival order —
+      // then run the whole event inline, exactly as serial execution would.
+      window.FlushNow();
+      DrainCoalescer(cluster->id());
+      metrics_.Add("udr.event.inline_add");
+      ready_events_.emplace(handle, ProcessBatch(requests, poa_site));
+      return handle;
+    }
+  }
+
+  PendingEvent event;
+  event.cluster = cluster->id();
+  event.requests = requests;
+  routing::BatchRequest batch;
+  event.slots.reserve(requests.size());
+  for (const LdapRequest& req : requests) {
+    event.slots.push_back(SlotFor(req, &batch, [&](const LdapRequest& r) {
+      // Unreachable for Add (handled above); anything else landing here is
+      // an unsupported verb whose error resolves at enqueue.
+      LdapResult res = Process(r, poa_site);
+      event.inline_latency += res.latency;
+      return res;
+    }));
+  }
+
+  if (batch.empty()) {
+    // Every request resolved inline; the event never enters the window.
+    LdapBatchResult out;
+    out.results.reserve(event.slots.size());
+    for (RequestSlot& slot : event.slots) {
+      out.results.push_back(std::move(slot.inline_result));
+    }
+    out.latency = event.inline_latency;
+    ready_events_.emplace(handle, std::move(out));
+    return handle;
+  }
+
+  event.event = window.Submit(std::move(batch));
+  pending_events_.emplace(handle, std::move(event));
+  metrics_.Add("udr.event.enqueued");
+  // Drain only when the submit itself closed the window (size cap hit) —
+  // the common parked submit leaves nothing to take.
+  if (!window.HasPending()) DrainCoalescer(cluster->id());
+  return handle;
+}
+
+std::optional<ldap::LdapBatchResult> UdrNf::TakeBatchResult(uint64_t handle) {
+  auto it = ready_events_.find(handle);
+  if (it == ready_events_.end()) return std::nullopt;
+  LdapBatchResult out = std::move(it->second);
+  ready_events_.erase(it);
+  return out;
+}
+
+ldap::LdapBatchResult UdrNf::FinalizeEvent(PendingEvent& event,
+                                           routing::EventOutcome& outcome) {
+  LdapBatchResult out;
+  out.results.resize(event.requests.size());
+  for (size_t i = 0; i < event.slots.size(); ++i) {
+    RequestSlot& slot = event.slots[i];
+    switch (slot.kind) {
+      case RequestSlot::Kind::kInline:
+        out.results[i] = std::move(slot.inline_result);
+        break;
+      case RequestSlot::Kind::kPipeline:
+        out.results[i] =
+            ResultFromOutcome(event.requests[i], outcome.outcomes[slot.op]);
+        break;
+      case RequestSlot::Kind::kDelete:
+        out.results[i] =
+            FinishBatchedDelete(slot.identity, outcome.outcomes[slot.op],
+                                outcome.outcomes[slot.write_op]);
+        break;
+    }
+  }
+  // Latency split: time parked in the window is reported apart from the
+  // shared dispatch's service share (plus any enqueue-time inline work).
+  out.queue_delay = outcome.queue_delay;
+  out.latency = event.inline_latency + outcome.queue_delay +
+                outcome.service_latency;
+  out.partition_groups = outcome.partition_groups;
+  out.bypass_hits = outcome.bypass_hits;
+  out.coalesced_events = outcome.coalesced_events;
+  metrics_.Add("udr.batch.count");
+  metrics_.Add("udr.batch.ops", static_cast<int64_t>(event.requests.size()));
+  if (!out.ok()) metrics_.Add("udr.batch.failed_ops", out.failed_ops());
+  return out;
+}
+
+void UdrNf::DrainCoalescer(uint32_t cluster_id) {
+  routing::Coalescer& window = *coalescers_[cluster_id];
+  for (auto it = pending_events_.begin(); it != pending_events_.end();) {
+    if (it->second.cluster != cluster_id) {
+      ++it;
+      continue;
+    }
+    auto outcome = window.Take(it->second.event);
+    if (!outcome.has_value()) {
+      ++it;
+      continue;
+    }
+    ready_events_.emplace(it->first, FinalizeEvent(it->second, *outcome));
+    it = pending_events_.erase(it);
+  }
+}
+
+StatusOr<uint64_t> UdrNf::SubmitEvent(const std::vector<LdapRequest>& requests,
+                                      sim::SiteId client_site) {
+  auto poa = router_.FindPoaCluster(client_site);
+  if (!poa.ok()) {
+    metrics_.Add("udr.submit.unavailable");
+    return poa.status();
+  }
+  BladeCluster* cluster = clusters_[*poa].get();
+  auto handle = cluster->balancer().EnqueueBatch(requests, cluster->site());
+  if (!handle.ok()) {
+    metrics_.Add("udr.submit.unavailable");
+    return handle.status();
+  }
+  event_clients_.emplace(*handle, std::make_pair(client_site, cluster->id()));
+  return *handle;
+}
+
+void UdrNf::PumpEvents() {
+  for (uint32_t c = 0; c < coalescers_.size(); ++c) {
+    if (coalescers_[c]->FlushIfDue()) DrainCoalescer(c);
+  }
+}
+
+void UdrNf::FlushEvents() {
+  for (uint32_t c = 0; c < coalescers_.size(); ++c) {
+    coalescers_[c]->FlushNow();
+    DrainCoalescer(c);
+  }
+}
+
+MicroTime UdrNf::NextEventDeadline() const {
+  MicroTime next = kTimeInfinity;
+  for (const auto& window : coalescers_) {
+    next = std::min(next, window->deadline());
+  }
+  return next;
+}
+
+std::optional<ldap::LdapBatchResult> UdrNf::TakeEvent(uint64_t handle) {
+  auto it = event_clients_.find(handle);
+  if (it == event_clients_.end()) return std::nullopt;
+  BladeCluster* cluster = clusters_[it->second.second].get();
+  auto result = cluster->balancer().TakeBatch(handle);
+  if (!result.has_value()) return std::nullopt;
+  // One client <-> PoA round trip for the whole event, as on SubmitBatch.
+  result->latency +=
+      network_->topology().Rtt(it->second.first, cluster->site()) +
+      network_->topology().HopOverhead();
+  metrics_.Add(result->ok() ? "udr.submit.ok" : "udr.submit.failed");
+  event_clients_.erase(it);
+  return result;
 }
 
 LdapBatchResult UdrNf::SubmitBatch(const std::vector<LdapRequest>& requests,

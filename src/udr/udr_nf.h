@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
@@ -31,6 +32,7 @@
 #include "location/identity.h"
 #include "location/location_stage.h"
 #include "replication/replica_set.h"
+#include "routing/coalescer.h"
 #include "routing/partition_map.h"
 #include "routing/placement_policy.h"
 #include "routing/router.h"
@@ -76,6 +78,15 @@ struct UdrConfig {
   /// Identity type hash placement keys records by (and the only type the
   /// bypass may route — any other type would hash onto the wrong ring).
   location::IdentityType hash_identity_type = location::IdentityType::kImsi;
+  /// Cross-event coalescing at the PoA: events enqueued via SubmitEvent are
+  /// parked in a per-cluster dispatch window and flushed as ONE grouped
+  /// pipeline batch when this window elapses on the sim clock (or the size
+  /// cap below fills). 0 = disabled: enqueued events execute immediately,
+  /// byte-identical to the inline SubmitBatch path.
+  MicroDuration coalesce_window_us = 0;
+  /// Closes an open window early once this many ops are parked across the
+  /// in-flight events (0 = deadline-only close).
+  int coalesce_max_ops = 0;
   storage::StorageElementConfig se_template;
   ldap::LdapServerConfig ldap_template;
   location::LocationCostModel location_model;
@@ -143,6 +154,41 @@ class UdrNf : public ldap::LdapBackend {
   ldap::LdapBatchResult SubmitBatch(const std::vector<ldap::LdapRequest>& requests,
                                     sim::SiteId client_site);
 
+  // -- Cross-event coalescing (PoA dispatch window) ------------------------------
+
+  /// Enqueues one signaling event into the PoA's cross-event dispatch
+  /// window: client -> balancer -> stateless server, then the event parks in
+  /// the cluster's routing::Coalescer instead of executing inline. The
+  /// result is collected with TakeEvent once the window flushes (PumpEvents
+  /// when the sim clock passes the deadline, FlushEvents as a barrier). With
+  /// `coalesce_window_us == 0` the event executes immediately and TakeEvent
+  /// succeeds right away with a result identical to SubmitBatch.
+  StatusOr<uint64_t> SubmitEvent(const std::vector<ldap::LdapRequest>& requests,
+                                 sim::SiteId client_site);
+
+  /// Flushes every PoA dispatch window whose sim-clock deadline has passed,
+  /// completing the affected events. Drivers call this after advancing the
+  /// clock.
+  void PumpEvents();
+
+  /// Closes all open windows now (end-of-run barrier).
+  void FlushEvents();
+
+  /// Earliest close deadline over all open PoA windows (kTimeInfinity when
+  /// none is open) — lets drivers advance the clock to exactly the flush.
+  MicroTime NextEventDeadline() const;
+
+  /// Claims a completed event's result (client RTT included); nullopt while
+  /// the event is still parked in its window.
+  std::optional<ldap::LdapBatchResult> TakeEvent(uint64_t handle);
+
+  /// The dispatch window of one cluster's PoA (introspection for tests and
+  /// benches); nullptr for an unknown cluster.
+  routing::Coalescer* coalescer(uint32_t cluster_id) {
+    return cluster_id < coalescers_.size() ? coalescers_[cluster_id].get()
+                                           : nullptr;
+  }
+
   // -- ldap::LdapBackend ----------------------------------------------------------
 
   /// Request semantics, entered at the PoA of `poa_site`.
@@ -150,10 +196,22 @@ class UdrNf : public ldap::LdapBackend {
                            uint32_t poa_site) override;
 
   /// Multi-op request semantics: batchable verbs (search, compare, modify)
-  /// ride the routing::Router::RouteBatch pipeline; Add/Delete flush the
-  /// pending run and execute per-op in place, preserving request order.
+  /// ride the routing::Router::RouteBatch pipeline; Delete rides it too, as
+  /// a master-only read plus a delete-record write sharing the grouped
+  /// windows (population/bind bookkeeping applied from the outcomes); Add
+  /// flushes the pending run and executes per-op in place, preserving
+  /// request order.
   ldap::LdapBatchResult ProcessBatch(const std::vector<ldap::LdapRequest>& requests,
                                      uint32_t poa_site) override;
+
+  /// Parks a multi-op request in this PoA's cross-event dispatch window
+  /// (Adds and untranslatable requests resolve inline at enqueue time).
+  /// With coalescing disabled this is ProcessBatch plus a stashed result.
+  uint64_t EnqueueBatch(const std::vector<ldap::LdapRequest>& requests,
+                        uint32_t poa_site) override;
+
+  /// Claims a completed enqueued request; nullopt while its window is open.
+  std::optional<ldap::LdapBatchResult> TakeBatchResult(uint64_t handle) override;
 
   // -- Internal administration -----------------------------------------------------
 
@@ -250,6 +308,54 @@ class UdrNf : public ldap::LdapBackend {
   ldap::LdapResult ResultFromOutcome(const ldap::LdapRequest& request,
                                      const routing::OpOutcome& outcome);
 
+  /// How one request of a multi-op event maps onto the pipeline batch.
+  struct RequestSlot {
+    enum class Kind {
+      kPipeline,  ///< One batchable op at index `op`.
+      kDelete,    ///< Master-only read at `op` + delete-record write at `write_op`.
+      kInline,    ///< Resolved without the pipeline; result already final.
+    };
+    Kind kind = Kind::kInline;
+    size_t op = 0;
+    size_t write_op = 0;
+    location::Identity identity;     ///< kDelete: DN identity to unbind.
+    ldap::LdapResult inline_result;  ///< kInline.
+  };
+
+  /// Completes a pipeline-routed Delete from its two outcomes: maps failures
+  /// per op and, on success, applies the same population/bind bookkeeping as
+  /// DeleteSubscriber (unbind every identity, which also drops any bypass
+  /// exception; decrement population and the subscriber count).
+  ldap::LdapResult FinishBatchedDelete(const location::Identity& id,
+                                       const routing::OpOutcome& read,
+                                       const routing::OpOutcome& write);
+
+  /// Translates one request of an event into a slot, appending pipeline ops
+  /// to `batch`. Batchable verbs map 1:1; Delete maps to its read + write
+  /// pair; anything else (or a translation failure) resolves inline via
+  /// `inline_exec` — ProcessBatch uses it to flush-then-execute, the enqueue
+  /// path to execute immediately.
+  template <typename InlineExec>
+  RequestSlot SlotFor(const ldap::LdapRequest& request,
+                      routing::BatchRequest* batch, InlineExec&& inline_exec);
+
+  /// One event parked in a cluster's dispatch window, waiting for its flush.
+  struct PendingEvent {
+    uint32_t cluster = 0;
+    routing::EventId event = 0;
+    std::vector<ldap::LdapRequest> requests;
+    std::vector<RequestSlot> slots;    ///< 1:1 with `requests`.
+    MicroDuration inline_latency = 0;  ///< Latency of enqueue-time inline ops.
+  };
+
+  /// Builds the LdapBatchResult of a flushed event from its demuxed outcome.
+  ldap::LdapBatchResult FinalizeEvent(PendingEvent& event,
+                                      routing::EventOutcome& outcome);
+
+  /// Moves every completed event of one cluster's coalescer into the
+  /// ready-result map.
+  void DrainCoalescer(uint32_t cluster_id);
+
   UdrConfig config_;
   sim::Network* network_;
   Metrics metrics_;
@@ -259,6 +365,14 @@ class UdrNf : public ldap::LdapBackend {
   std::unique_ptr<routing::PlacementPolicy> placement_;
 
   std::vector<std::unique_ptr<BladeCluster>> clusters_;
+  /// One cross-event dispatch window per cluster's PoA (1:1 with clusters_).
+  std::vector<std::unique_ptr<routing::Coalescer>> coalescers_;
+  /// Events parked in a window, keyed by enqueue handle.
+  std::unordered_map<uint64_t, PendingEvent> pending_events_;
+  /// Flushed events awaiting TakeBatchResult.
+  std::unordered_map<uint64_t, ldap::LdapBatchResult> ready_events_;
+  /// Client leg of each in-flight SubmitEvent: {client_site, cluster id}.
+  std::unordered_map<uint64_t, std::pair<sim::SiteId, uint32_t>> event_clients_;
   storage::RecordKey next_key_ = 1;
   int64_t subscriber_count_ = 0;
 };

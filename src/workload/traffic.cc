@@ -1,5 +1,6 @@
 #include "workload/traffic.h"
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -16,6 +17,8 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
   Rng rng(opts.seed);
   sim::SimClock& clock = bed.clock();
   const MicroTime horizon = clock.Now() + opts.duration;
+  const bool coalesced = opts.concurrent_events > 1;
+  const int burst = std::max(1, opts.concurrent_events);
 
   // One FE pair per site.
   std::vector<std::unique_ptr<HlrFe>> hlr_fes;
@@ -23,9 +26,43 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
   for (uint32_t s = 0; s < bed.options().sites; ++s) {
     hlr_fes.push_back(std::make_unique<HlrFe>(s, &bed.udr(), opts.batched));
     hss_fes.push_back(std::make_unique<HssFe>(s, &bed.udr(), opts.batched));
+    if (coalesced) {
+      hlr_fes.back()->set_deferred(true);
+      hss_fes.back()->set_deferred(true);
+    }
   }
   telecom::ProvisioningSystem ps({opts.ps_site, 0, opts.batched}, &bed.udr(),
                                  &bed.factory());
+
+  // FE procedures parked in a PoA dispatch window, awaiting their flush.
+  struct InFlight {
+    uint64_t handle = 0;
+    telecom::FrontEnd* fe = nullptr;
+    ClassStats* cls = nullptr;
+  };
+  std::vector<InFlight> in_flight;
+  auto collect = [&]() {
+    for (auto it = in_flight.begin(); it != in_flight.end();) {
+      std::optional<ProcedureResult> done = it->fe->TakeDeferred(it->handle);
+      if (!done.has_value()) {
+        ++it;
+        continue;
+      }
+      report.fe_queue_delay.Record(done->queue_delay);
+      it->cls->Fold(*done);
+      it = in_flight.erase(it);
+    }
+  };
+  // Folds an FE procedure outcome: inline results score immediately,
+  // deferred ones are tracked until their window flushes.
+  auto dispatch = [&](ClassStats& cls, telecom::FrontEnd& fe,
+                      ProcedureResult r) {
+    if (r.deferred()) {
+      in_flight.push_back({*r.pending, &fe, &cls});
+    } else {
+      cls.Fold(r);
+    }
+  };
 
   const MicroDuration fe_gap =
       opts.fe_rate_per_sec > 0
@@ -41,48 +78,66 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
 
   while (true) {
     MicroTime next = std::min(next_fe, next_ps);
+    if (coalesced) {
+      // Wake exactly at the earliest open window's deadline so flushes
+      // happen on time (queueing delay stays bounded by the window).
+      MicroTime flush_at = bed.udr().NextEventDeadline();
+      if (flush_at <= std::min(next, horizon)) {
+        clock.AdvanceTo(std::max(flush_at, clock.Now()));
+        bed.udr().PumpEvents();
+        collect();
+        continue;
+      }
+    }
     if (next > horizon) break;
     clock.AdvanceTo(next);
 
     if (next == next_fe) {
       next_fe += fe_gap;
-      uint64_t index = rng.Uniform(opts.subscriber_count);
-      telecom::Subscriber sub = bed.factory().Make(index);
-      sim::SiteId home = bed.HomeSiteOf(index);
-      sim::SiteId serving = home;
-      if (bed.options().sites > 1 && rng.Bernoulli(opts.roaming_fraction)) {
-        serving = static_cast<sim::SiteId>(
-            (home + 1 + rng.Uniform(bed.options().sites - 1)) %
-            bed.options().sites);
-      }
-      if (rng.Bernoulli(opts.ims_fraction)) {
-        HssFe& fe = *hss_fes[serving];
-        double pick = rng.NextDouble();
-        if (pick < 0.55) {
-          report.fe_read.Fold(fe.ImsLocate(sub.ImpuId()));
-        } else if (pick < 0.80) {
-          report.fe_write.Fold(
-              fe.ImsRegister(sub.ImpuId(), "scscf" + std::to_string(serving)));
-        } else {
-          report.fe_write.Fold(fe.ImsDeregister(sub.ImpuId()));
+      for (int b = 0; b < burst; ++b) {
+        uint64_t index = rng.Uniform(opts.subscriber_count);
+        telecom::Subscriber sub = bed.factory().Make(index);
+        sim::SiteId home = bed.HomeSiteOf(index);
+        sim::SiteId serving = home;
+        if (bed.options().sites > 1 && rng.Bernoulli(opts.roaming_fraction)) {
+          serving = static_cast<sim::SiteId>(
+              (home + 1 + rng.Uniform(bed.options().sites - 1)) %
+              bed.options().sites);
         }
-      } else {
-        HlrFe& fe = *hlr_fes[serving];
-        double pick = rng.NextDouble();
-        if (pick < 0.35) {
-          report.fe_read.Fold(fe.Authenticate(sub.ImsiId()));
-        } else if (pick < 0.55) {
-          report.fe_read.Fold(fe.SendRoutingInfo(sub.MsisdnId()));
-        } else if (pick < 0.70) {
-          report.fe_read.Fold(fe.SmsRouting(sub.MsisdnId()));
-        } else if (pick < 0.80) {
-          report.fe_read.Fold(fe.InterrogateSs(sub.MsisdnId()));
+        if (rng.Bernoulli(opts.ims_fraction)) {
+          HssFe& fe = *hss_fes[serving];
+          double pick = rng.NextDouble();
+          if (pick < 0.55) {
+            dispatch(report.fe_read, fe, fe.ImsLocate(sub.ImpuId()));
+          } else if (pick < 0.80) {
+            dispatch(report.fe_write, fe,
+                     fe.ImsRegister(sub.ImpuId(),
+                                    "scscf" + std::to_string(serving)));
+          } else {
+            dispatch(report.fe_write, fe, fe.ImsDeregister(sub.ImpuId()));
+          }
         } else {
-          report.fe_write.Fold(fe.UpdateLocation(
-              sub.ImsiId(), "vlr" + std::to_string(serving),
-              static_cast<int64_t>(serving * 100 + rng.Uniform(100))));
+          HlrFe& fe = *hlr_fes[serving];
+          double pick = rng.NextDouble();
+          if (pick < 0.35) {
+            dispatch(report.fe_read, fe, fe.Authenticate(sub.ImsiId()));
+          } else if (pick < 0.55) {
+            dispatch(report.fe_read, fe, fe.SendRoutingInfo(sub.MsisdnId()));
+          } else if (pick < 0.70) {
+            dispatch(report.fe_read, fe, fe.SmsRouting(sub.MsisdnId()));
+          } else if (pick < 0.80) {
+            dispatch(report.fe_read, fe, fe.InterrogateSs(sub.MsisdnId()));
+          } else {
+            dispatch(report.fe_write, fe,
+                     fe.UpdateLocation(
+                         sub.ImsiId(), "vlr" + std::to_string(serving),
+                         static_cast<int64_t>(serving * 100 + rng.Uniform(100))));
+          }
         }
       }
+      // A burst may have closed a window via the size cap (or coalescing is
+      // off and events completed at enqueue): score what is ready.
+      if (coalesced) collect();
     } else {
       next_ps += ps_gap;
       uint64_t index = rng.Uniform(opts.subscriber_count);
@@ -101,6 +156,11 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
     }
   }
   clock.AdvanceTo(horizon);
+  if (coalesced) {
+    // End-of-run barrier: close every still-open window and score the rest.
+    bed.udr().FlushEvents();
+    collect();
+  }
   return report;
 }
 

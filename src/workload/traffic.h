@@ -32,6 +32,13 @@ struct TrafficOptions {
   /// data-path pipeline (FE procedures and PS read-modify-writes) instead of
   /// one northbound round trip per op.
   bool batched = false;
+  /// Cross-event coalescing driver: > 1 issues this many concurrent FE
+  /// signaling events per arrival tick, each enqueued into the PoA's
+  /// dispatch window (FrontEnd deferred mode) instead of executing inline;
+  /// the driver advances the clock to each window's deadline, pumps the
+  /// flush and collects the demuxed per-event results. Only meaningful when
+  /// the UDR deploys `coalesce_window_us > 0`; 1 = the inline drivers above.
+  int concurrent_events = 1;
 };
 
 /// Aggregated statistics for one traffic class.
@@ -74,6 +81,9 @@ struct TrafficReport {
   ClassStats fe_read;   ///< Read-only FE procedures.
   ClassStats fe_write;  ///< FE procedures containing writes.
   ClassStats ps;        ///< Provisioning-system operations.
+  /// Queueing delay of deferred FE events (time parked in the PoA dispatch
+  /// window, µs) — empty unless the concurrent-event driver ran.
+  Histogram fe_queue_delay;
 
   ClassStats FeAll() const {
     ClassStats all = fe_read;

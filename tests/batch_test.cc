@@ -356,6 +356,144 @@ TEST(HashBypassTest, BatchReadsCountBypassHits) {
 }
 
 // ---------------------------------------------------------------------------
+// Subscriber delete lifecycle under hash placement (bypass-path fixes)
+// ---------------------------------------------------------------------------
+
+ldap::LdapRequest DeleteOf(const std::string& imsi) {
+  ldap::LdapRequest req;
+  req.op = ldap::LdapOp::kDelete;
+  req.dn = ldap::SubscriberDn("imsi", imsi);
+  req.master_only = true;
+  return req;
+}
+
+TEST(HashDeleteLifecycleTest, DeleteClearsBypassExceptionEntries) {
+  workload::Testbed bed(HashOptions(12));
+  auto& udr = bed.udr();
+  Identity id = bed.factory().Make(5).ImsiId();
+  // Simulate a failed re-home: the subscriber is pinned to the slow path.
+  udr.router().AddBypassException(id);
+  ASSERT_EQ(udr.router().bypass_exception_count(), 1u);
+
+  ASSERT_TRUE(udr.DeleteSubscriber(id, 0).ok());
+  // The deleted identity must not leak an exception entry forever...
+  EXPECT_EQ(udr.router().bypass_exception_count(), 0u);
+  // ...and a bypassed read after the delete misses cleanly: the hash still
+  // routes to the ring owner, where both the record and the binding are gone.
+  RouteResult fast = udr.router().Route(id, 0, RouteIntent::kRead);
+  ASSERT_TRUE(fast.status.ok());
+  EXPECT_TRUE(fast.bypassed_location);
+  auto record = fast.rs->ReadRecord(0, fast.key, ReadPreference::kMasterOnly);
+  EXPECT_TRUE(record.status().IsNotFound());
+  EXPECT_TRUE(udr.AuthoritativeLookup(id).status().IsNotFound());
+}
+
+TEST(HashDeleteLifecycleTest, RehomeAgreementDropsStaleException) {
+  workload::Testbed bed(HashOptions(15));
+  auto& udr = bed.udr();
+  Identity id = bed.factory().Make(3).ImsiId();
+  // An exception whose identity already agrees with its ring owner (as after
+  // a ring change that undid the stranding move) is obsolete; the next
+  // re-home pass must drop it instead of pinning the slow path forever.
+  udr.router().AddBypassException(id);
+  ASSERT_TRUE(udr.AddCluster(1).ok());
+  udr.CommissionPartitions();  // Runs the re-home pass over all bindings.
+  EXPECT_EQ(udr.router().bypass_exception_count(), 0u);
+  EXPECT_TRUE(udr.router().Route(id, 0, RouteIntent::kRead).bypassed_location);
+}
+
+TEST(HashDeleteLifecycleTest, BatchedDeletesRideTheGroupedPipeline) {
+  workload::Testbed bed(HashOptions(20));
+  Settle(bed);
+  auto& udr = bed.udr();
+  const int64_t before = udr.SubscriberCount();
+  const int64_t deletes_before = udr.metrics().Get("udr.delete.ok");
+
+  std::vector<ldap::LdapRequest> requests;
+  for (uint64_t i = 0; i < 4; ++i) {
+    requests.push_back(DeleteOf(bed.factory().Make(i).imsi));
+  }
+  // A modify of a live subscriber shares the same window...
+  ldap::LdapRequest mod;
+  mod.op = ldap::LdapOp::kModify;
+  mod.dn = ldap::SubscriberDn("imsi", bed.factory().Make(10).imsi);
+  mod.mods.push_back(
+      {ldap::ModType::kReplace, "serving-vlr", std::string("vlr3")});
+  requests.push_back(mod);
+  // ...and a later read of a deleted subscriber observes the deletion
+  // (per-key order holds across the whole batch, no flush between verbs).
+  ldap::LdapRequest read;
+  read.op = ldap::LdapOp::kSearch;
+  read.dn = ldap::SubscriberDn("imsi", bed.factory().Make(0).imsi);
+  read.master_only = true;
+  requests.push_back(read);
+
+  ldap::LdapBatchResult out = udr.SubmitBatch(requests, 0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out.results[i].code, ldap::LdapResultCode::kSuccess) << i;
+  }
+  EXPECT_EQ(out.results[4].code, ldap::LdapResultCode::kSuccess);
+  EXPECT_EQ(out.results[5].code, ldap::LdapResultCode::kNoSuchObject);
+  EXPECT_EQ(udr.SubscriberCount(), before - 4);
+  EXPECT_EQ(udr.metrics().Get("udr.delete.ok"), deletes_before + 4);
+  // The deletes rode the grouped pipeline: one batch, no per-op flushes.
+  EXPECT_EQ(udr.metrics().Get("router.batch.count"), 1);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(udr.router().IsBound(bed.factory().Make(i).ImsiId())) << i;
+    EXPECT_FALSE(udr.router().IsBound(bed.factory().Make(i).MsisdnId())) << i;
+  }
+}
+
+TEST(HashDeleteLifecycleTest, DeleteOfUnknownSubscriberIsIsolated) {
+  workload::Testbed bed(HashOptions(8));
+  Settle(bed);
+  std::vector<ldap::LdapRequest> requests;
+  requests.push_back(DeleteOf("000000000000000"));  // Never provisioned.
+  requests.push_back(DeleteOf(bed.factory().Make(1).imsi));
+  ldap::LdapBatchResult out = bed.udr().SubmitBatch(requests, 0);
+  EXPECT_EQ(out.results[0].code, ldap::LdapResultCode::kNoSuchObject);
+  EXPECT_EQ(out.results[1].code, ldap::LdapResultCode::kSuccess);
+  EXPECT_EQ(bed.udr().SubscriberCount(), 7);
+}
+
+TEST(HashDeleteLifecycleTest, PopulationMatchesLiveCountAfterChurn) {
+  workload::Testbed bed(HashOptions(30));
+  Settle(bed);
+  auto& udr = bed.udr();
+
+  // Delete 10 through the batched LDAP path (two multi-delete messages).
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<ldap::LdapRequest> deletes;
+    for (uint64_t i = 0; i < 5; ++i) {
+      deletes.push_back(
+          DeleteOf(bed.factory().Make(wave * 5 + i).imsi));
+    }
+    ldap::LdapBatchResult out = udr.SubmitBatch(deletes, 0);
+    EXPECT_TRUE(out.ok());
+  }
+  // Re-provision 6 fresh subscribers and delete 2 of them per-op again.
+  EXPECT_EQ(bed.ProvisionDirect(100, 6), 6);
+  for (uint64_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(
+        udr.DeleteSubscriber(bed.factory().Make(100 + i).ImsiId(), 0).ok());
+  }
+
+  const int64_t live = udr.SubscriberCount();
+  EXPECT_EQ(live, 30 - 10 + 6 - 2);
+  int64_t population_total = 0;
+  for (int64_t p : udr.partition_map().PopulationPerSe()) population_total += p;
+  EXPECT_EQ(population_total, live);
+  EXPECT_EQ(udr.router().bypass_exception_count(), 0u);
+  // Live subscribers still bypass; deleted ones miss cleanly.
+  EXPECT_TRUE(udr.router()
+                  .Route(bed.factory().Make(20).ImsiId(), 0, RouteIntent::kRead)
+                  .bypassed_location);
+  EXPECT_TRUE(udr.AuthoritativeLookup(bed.factory().Make(3).ImsiId())
+                  .status()
+                  .IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
 // LDAP multi-op adapter and batched front ends
 // ---------------------------------------------------------------------------
 
