@@ -23,12 +23,16 @@ echo "== Release: benchmark smoke (1 iteration each) =="
 # The loop globs every bench target, but the self-checking ones the
 # acceptance gates ride on must exist (a glob would silently skip a bench
 # that fell out of the build).
-for required in bench_batch_pipeline bench_coalescer; do
+for required in bench_batch_pipeline bench_coalescer bench_migration; do
   if [[ ! -x "build-release/bench/${required}" ]]; then
     echo "SMOKE FAILED: required benchmark ${required} was not built"
     exit 1
   fi
 done
+# bench_migration emits a machine-readable result file for the bench
+# trajectory; point it into the build tree and verify it appears.
+export UDR_BENCH_JSON_PATH="${PWD}/build-release/BENCH_migration.json"
+rm -f "${UDR_BENCH_JSON_PATH}"
 bench_failed=0
 for bench in build-release/bench/bench_*; do
   [[ -x "${bench}" ]] || continue
@@ -51,7 +55,11 @@ if [[ "${bench_failed}" != 0 ]]; then
   echo "== benchmark smoke: FAILED =="
   exit 1
 fi
-echo "== benchmark smoke: all green =="
+if [[ ! -s "${UDR_BENCH_JSON_PATH}" ]]; then
+  echo "SMOKE FAILED: bench_migration did not emit ${UDR_BENCH_JSON_PATH}"
+  exit 1
+fi
+echo "== benchmark smoke: all green (BENCH_migration.json emitted) =="
 
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   echo "== sanitizers skipped =="

@@ -1,0 +1,22 @@
+#include "migration/bandwidth_model.h"
+
+namespace udr::migration {
+
+int64_t BandwidthModel::EffectiveBps(sim::SiteId from, sim::SiteId to) const {
+  int64_t link = topology_ != nullptr ? topology_->LinkBandwidthBps(from, to) : 0;
+  int64_t cap = config_.bandwidth_bps;
+  if (cap <= 0) return link;
+  if (link <= 0) return cap;
+  return cap < link ? cap : link;
+}
+
+MicroDuration BandwidthModel::TransferTime(sim::SiteId from, sim::SiteId to,
+                                           int64_t bytes) const {
+  int64_t bps = EffectiveBps(from, to);
+  if (bps <= 0 || bytes <= 0) return 0;
+  // Ceiling division keeps deadlines conservative: a chunk is never
+  // considered transferred before the rate allows.
+  return static_cast<MicroDuration>((bytes * 1'000'000 + bps - 1) / bps);
+}
+
+}  // namespace udr::migration

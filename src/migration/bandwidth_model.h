@@ -1,0 +1,61 @@
+// BandwidthModel: how fast the interconnect lets background migration move
+// bytes between two storage elements' sites.
+//
+// The model combines two inputs:
+//   * the deployment-wide migration cap (UdrConfig::migration_bandwidth_bps,
+//     bytes/second) — the operator's "how much of the interconnect may
+//     migration consume" knob; 0 means unthrottled (a move drains inline,
+//     the pre-migration-subsystem behavior);
+//   * the per-link bulk bandwidth of the simulated topology
+//     (sim::Topology::LinkBandwidthBps), when the scenario models one.
+// The effective rate of a link is the tighter of the two. Chunk sizes
+// (migration_chunk_bytes) convert through the rate into sim-clock transfer
+// durations, which is what the MigrationScheduler paces its token bucket —
+// and therefore its window deadlines — against.
+
+#ifndef UDR_MIGRATION_BANDWIDTH_MODEL_H_
+#define UDR_MIGRATION_BANDWIDTH_MODEL_H_
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "sim/topology.h"
+
+namespace udr::migration {
+
+/// Static configuration of the migration bandwidth model.
+struct BandwidthModelConfig {
+  /// Migration traffic cap per SE-pair link, bytes/second (0 = unthrottled).
+  int64_t bandwidth_bps = 0;
+  /// Transfer unit: a migration step ships at most this many bytes before
+  /// yielding to foreground work.
+  int64_t chunk_bytes = 64 * 1024;
+};
+
+/// Converts chunk sizes into sim-clock transfer budgets per SE-pair link.
+class BandwidthModel {
+ public:
+  BandwidthModel(BandwidthModelConfig config, const sim::Topology* topology)
+      : config_(config), topology_(topology) {}
+
+  const BandwidthModelConfig& config() const { return config_; }
+  int64_t chunk_bytes() const { return config_.chunk_bytes; }
+
+  /// Effective migration rate between two sites, bytes/second: the tighter
+  /// of the configured cap and the link's modelled bulk bandwidth.
+  /// 0 = unthrottled (transfers complete in link latency alone).
+  int64_t EffectiveBps(sim::SiteId from, sim::SiteId to) const;
+
+  /// Sim-clock time to push `bytes` over the link at the effective rate
+  /// (excluding propagation latency; 0 when unthrottled).
+  MicroDuration TransferTime(sim::SiteId from, sim::SiteId to,
+                             int64_t bytes) const;
+
+ private:
+  BandwidthModelConfig config_;
+  const sim::Topology* topology_;
+};
+
+}  // namespace udr::migration
+
+#endif  // UDR_MIGRATION_BANDWIDTH_MODEL_H_

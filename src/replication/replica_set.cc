@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <unordered_set>
 
 namespace udr::replication {
@@ -216,7 +217,10 @@ WriteResult ReplicaSet::CommitOnMaster(std::vector<WriteOp> ops) {
   CommitSeq seq = log_.Append(now, master_, std::move(ops));
   master.applied = seq;
 
-  MicroDuration latency = master.se->WriteServiceTime(std::max(op_count, 1));
+  // A foreground commit queues behind any in-flight background streaming
+  // work (migration chunks) on the master's engine.
+  MicroDuration latency = master.se->BackgroundQueueDelay(now) +
+                          master.se->WriteServiceTime(std::max(op_count, 1));
 
   MicroDuration sync_extra = 0;
   bool degraded = false;
@@ -403,7 +407,7 @@ void ReplicaSet::ReadAttrOn(uint32_t id, RecordKey key, const std::string& attr,
                             ReadResult* out) {
   Replica& r = replicas_[id];
   out->served_by = id;
-  out->latency += r.se->ReadServiceTime();
+  out->latency += r.se->BackgroundQueueDelay(Now()) + r.se->ReadServiceTime();
   ++reads_served_;
 
   const Record* rec = r.se->store().Find(key);
@@ -437,7 +441,7 @@ const Record* ReplicaSet::ReadRecordOn(uint32_t id, RecordKey key,
   ++reads_served_;
   if (meta != nullptr) {
     meta->served_by = id;
-    meta->latency += r.se->ReadServiceTime();
+    meta->latency += r.se->BackgroundQueueDelay(Now()) + r.se->ReadServiceTime();
     meta->status = Status::Ok();
     if (id != master_ && replicas_[master_].up) {
       const Record* mine = r.se->store().Find(key);
@@ -629,41 +633,68 @@ int64_t SliceBytes(const storage::CommitLog& log,
 
 }  // namespace
 
-StatusOr<MigrationReport> ReplicaSet::MigratePrimaryTo(
+int64_t ReplicaSet::ApproxStreamBytes(CommitSeq after) const {
+  int64_t bytes = 0;
+  for (CommitSeq s = after + 1; s <= log_.LastSeq(); ++s) {
+    bytes += EntryBytes(log_.At(s));
+  }
+  return bytes;
+}
+
+Status ReplicaSet::CheckMigrationStream(const MigrationStream& stream) const {
+  if (master_ != stream.expected_master) {
+    return Status::FailedPrecondition(
+        "primary copy moved while the migration stream was open");
+  }
+  const Replica& master = replicas_[master_];
+  if (!master.up) {
+    return Status::Unavailable("master copy crashed during migration");
+  }
+  if (!network_->Reachable(master.se->site(), stream.target->site())) {
+    return Status::Unavailable("migration target unreachable from master copy");
+  }
+  if (stream.promote_existing && !replicas_[stream.target_replica].up) {
+    return Status::Unavailable("migration target replica crashed");
+  }
+  return Status::Ok();
+}
+
+StatusOr<MigrationStream> ReplicaSet::BeginPrimaryMigration(
     storage::StorageElement* target) {
   Replica& master = replicas_[master_];
   if (!master.up) {
     return Status::FailedPrecondition(
         "master copy down; fail over before migrating the primary");
   }
-  MigrationReport report;
   if (target == master.se) {
-    report.new_master = master_;
-    return report;  // Already there; nothing to move.
+    return Status::InvalidArgument(
+        "migration target already holds the primary copy");
   }
-  sim::SiteId old_site = master_site();
-  if (!network_->Reachable(old_site, target->site())) {
+  if (!network_->Reachable(master_site(), target->site())) {
     return Status::Unavailable("migration target unreachable from master copy");
   }
 
-  const CommitSeq last = log_.LastSeq();
+  MigrationStream stream;
+  stream.target = target;
+  stream.expected_master = master_;
+  stream.snapshot_seq = log_.LastSeq();
+
   int existing = -1;
   for (uint32_t id = 0; id < replicas_.size(); ++id) {
     if (replicas_[id].se == target) existing = static_cast<int>(id);
   }
-
   if (existing >= 0) {
-    // The target already hosts a secondary copy: force-sync the delta and
-    // promote it in place. The old primary SE keeps a (secondary) copy.
-    // Admission: the resync delta must fit the target's RAM budget — the
-    // shipped entry volume for an up replica, or (for a crashed one that
-    // will be dropped and rebuilt) the slice growth over what it now holds.
+    // The target already hosts a secondary copy: the stream ships only the
+    // delta and the cutover promotes in place (the old primary SE keeps a
+    // secondary copy). Admission: the delta must fit the target's RAM budget
+    // — the pending entry volume for an up replica, or (for a crashed one
+    // that is dropped and rebuilt) the slice growth over what it now holds.
     uint32_t t = static_cast<uint32_t>(existing);
-    int64_t delta_bytes = 0;
+    stream.promote_existing = true;
+    stream.target_replica = t;
+    int64_t delta_bytes;
     if (replicas_[t].up) {
-      for (CommitSeq s = replicas_[t].applied + 1; s <= last; ++s) {
-        delta_bytes += EntryBytes(log_.At(s));
-      }
+      delta_bytes = ApproxStreamBytes(replicas_[t].applied);
     } else {
       delta_bytes = SliceBytes(log_, master.se->store()) -
                     SliceBytes(log_, target->store());
@@ -675,42 +706,144 @@ StatusOr<MigrationReport> ReplicaSet::MigratePrimaryTo(
     // scratch, so the handoff ships the whole log — including whatever
     // RecoverReplica's own catch-up replays — not just the tail left over
     // after recovery.
-    CommitSeq before;
-    if (replicas_[t].up) {
-      before = replicas_[t].applied;
-    } else {
-      before = 0;
+    if (!replicas_[t].up) {
       RecoverReplica(t);
+      stream.shipped_seq = replicas_[t].applied;
+      stream.entries_shipped = static_cast<int64_t>(stream.shipped_seq);
+      for (CommitSeq s = 1; s <= stream.shipped_seq; ++s) {
+        stream.bytes_moved += EntryBytes(log_.At(s));
+      }
+    } else {
+      stream.shipped_seq = replicas_[t].applied;
     }
-    Replica& r = replicas_[t];
-    for (CommitSeq s = before + 1; s <= last; ++s) {
-      report.bytes_moved += EntryBytes(log_.At(s));
-    }
-    while (r.applied < last) ApplyEntry(&r, r.applied + 1);
-    report.promoted_existing = true;
-    report.entries_replayed = static_cast<int64_t>(last - before);
-    report.new_master = t;
-    master_ = t;
   } else {
-    // Fresh target: bulk resync the whole partition slice from the
-    // authoritative log, admission-checked against the target's RAM budget,
-    // then rebind the master replica slot and drop the old SE's copy.
+    // Fresh target: the stream replays the whole authoritative log onto it,
+    // admission-checked against the slice footprint it will end up holding.
     int64_t slice_bytes = SliceBytes(log_, master.se->store());
     UDR_RETURN_IF_ERROR(target->CheckCapacity(slice_bytes));
-    log_.ReplayRange(&target->store(), 0, last);
+    stream.shipped_seq = 0;
+  }
+  stream.estimated_bytes =
+      stream.bytes_moved + ApproxStreamBytes(stream.shipped_seq);
+  return stream;
+}
+
+StatusOr<int64_t> ReplicaSet::ShipMigrationChunk(MigrationStream* stream,
+                                                 int64_t max_bytes) {
+  if (stream->finished) {
+    return Status::FailedPrecondition("migration stream already finished");
+  }
+  UDR_RETURN_IF_ERROR(CheckMigrationStream(*stream));
+  if (stream->promote_existing) {
+    // Normal replication may have delivered entries meanwhile; they arrived
+    // over the replication stream, not the migration link, so skip them.
+    stream->shipped_seq =
+        std::max(stream->shipped_seq, replicas_[stream->target_replica].applied);
+  }
+  const CommitSeq head = log_.LastSeq();
+  int64_t shipped = 0;
+  int64_t entries = 0;
+  while (stream->shipped_seq < head) {
+    if (shipped > 0 && shipped >= max_bytes) break;
+    CommitSeq next = stream->shipped_seq + 1;
+    const LogEntry& e = log_.At(next);
+    if (stream->promote_existing) {
+      ApplyEntry(&replicas_[stream->target_replica], next);
+    } else {
+      for (const WriteOp& op : e.ops) {
+        storage::ApplyWriteOp(&stream->target->store(), op);
+      }
+    }
+    stream->shipped_seq = next;
+    shipped += EntryBytes(e);
+    ++entries;
+  }
+  stream->bytes_moved += shipped;
+  stream->entries_shipped += entries;
+  if (entries > 0) {
+    // Engine contention: the source spends read service streaming the chunk
+    // out, the target spends write service applying it. Foreground ops on
+    // either SE queue behind these busy horizons — the stall the bandwidth
+    // model exists to bound.
+    const MicroTime now = Now();
+    storage::StorageElement* source = replicas_[master_].se;
+    source->AddBackgroundLoad(now, entries * source->ReadServiceTime());
+    stream->target->AddBackgroundLoad(
+        now, entries * stream->target->WriteServiceTime());
+  }
+  return shipped;
+}
+
+StatusOr<MigrationReport> ReplicaSet::CompleteMigration(
+    MigrationStream* stream) {
+  if (stream->finished) {
+    return Status::FailedPrecondition("migration stream already finished");
+  }
+  // Final delta replay: anything committed since the last chunk ships now,
+  // so the flip below hands over a target holding every acknowledged write.
+  auto rest = ShipMigrationChunk(stream, std::numeric_limits<int64_t>::max());
+  if (!rest.ok()) return rest.status();
+
+  const sim::SiteId old_site = master_site();
+  MigrationReport report;
+  report.entries_replayed = stream->entries_shipped;
+  report.bytes_moved = stream->bytes_moved;
+  if (stream->promote_existing) {
+    report.promoted_existing = true;
+    master_ = stream->target_replica;
+  } else {
+    Replica& master = replicas_[master_];
     DropPartitionKeys(&master);
-    master.se = target;
-    master.applied = last;
+    master.se = stream->target;
+    master.applied = log_.LastSeq();
     master.up = true;
     master.down_since = 0;
     master.outages = sim::IntervalSet();  // Fresh hardware, full log on board.
-    report.entries_replayed = static_cast<int64_t>(last);
-    report.bytes_moved = slice_bytes;
-    report.new_master = master_;
   }
+  report.new_master = master_;
   report.duration =
-      network_->topology().Rtt(old_site, target->site()) +
-      report.entries_replayed * target->WriteServiceTime();
+      network_->topology().Rtt(old_site, stream->target->site()) +
+      report.entries_replayed * stream->target->WriteServiceTime();
+  stream->finished = true;
+  return report;
+}
+
+void ReplicaSet::AbortMigration(MigrationStream* stream) {
+  if (stream->finished) return;
+  stream->finished = true;
+  if (stream->promote_existing) {
+    // The secondary holds entries from the authoritative log it would have
+    // received anyway — valid state, just early. Nothing to undo.
+    return;
+  }
+  // Fresh target: delete the partial slice. Every key it could hold came
+  // from the shipped log prefix (keys are owned by exactly one partition,
+  // so this cannot touch co-hosted partitions' records).
+  std::unordered_set<RecordKey> keys;
+  for (CommitSeq s = 1; s <= stream->shipped_seq; ++s) {
+    for (const WriteOp& op : log_.At(s).ops) keys.insert(op.key);
+  }
+  for (RecordKey key : keys) {
+    stream->target->store().DeleteRecord(key);
+  }
+}
+
+StatusOr<MigrationReport> ReplicaSet::MigratePrimaryTo(
+    storage::StorageElement* target) {
+  if (!replicas_[master_].up) {
+    return Status::FailedPrecondition(
+        "master copy down; fail over before migrating the primary");
+  }
+  if (target == replicas_[master_].se) {
+    MigrationReport report;
+    report.new_master = master_;
+    return report;  // Already there; nothing to move.
+  }
+  // The bulk handoff is the chunked stream with an unbounded budget: one
+  // Begin, one all-at-once ship inside Complete, one flip.
+  UDR_ASSIGN_OR_RETURN(MigrationStream stream, BeginPrimaryMigration(target));
+  auto report = CompleteMigration(&stream);
+  if (!report.ok()) AbortMigration(&stream);
   return report;
 }
 

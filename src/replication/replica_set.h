@@ -145,6 +145,31 @@ struct MigrationReport {
   MicroDuration duration = 0;       ///< Modelled bulk-resync time.
 };
 
+/// An in-flight chunked primary-copy migration: copy -> catch-up -> cutover.
+/// Created by BeginPrimaryMigration, advanced by ShipMigrationChunk (the
+/// background scheduler budgets each call against its bandwidth model),
+/// finished by CompleteMigration (atomic ownership flip after a final delta
+/// replay — no acknowledged write is lost) or AbortMigration (partial target
+/// state is discarded; the source stays authoritative). The unit shipped is
+/// the commit-log entry, so the target converges on the exact serialization
+/// order the master imposed; `snapshot_seq` splits the work into the copy
+/// phase (log prefix at Begin) and catch-up (entries committed since).
+struct MigrationStream {
+  storage::StorageElement* target = nullptr;
+  uint32_t expected_master = 0;    ///< Master at Begin; a change aborts the stream.
+  bool promote_existing = false;   ///< Target already hosts a secondary copy.
+  uint32_t target_replica = 0;     ///< Replica id of that copy (promote path).
+  storage::CommitSeq snapshot_seq = 0;  ///< Log head at Begin.
+  storage::CommitSeq shipped_seq = 0;   ///< Log prefix already on the target.
+  int64_t bytes_moved = 0;         ///< Wire bytes shipped so far.
+  int64_t entries_shipped = 0;
+  int64_t estimated_bytes = 0;     ///< Begin-time estimate of the total.
+  bool finished = false;           ///< Completed or aborted.
+
+  /// Copy phase done: what remains is delta catch-up.
+  bool copy_done() const { return shipped_seq >= snapshot_seq; }
+};
+
 /// Result of a consistency-restoration pass after a partition heals (§5).
 struct RestorationReport {
   int64_t divergent_entries = 0;   ///< Transactions taken on the minority side.
@@ -233,8 +258,45 @@ class ReplicaSet {
   /// its copy, and the master replica slot is rebound to the target. Either
   /// way every acknowledged write is on the new primary before it takes
   /// ownership. Fails when the current master is down (fail over first) or
-  /// the target is unreachable from the master's site.
+  /// the target is unreachable from the master's site. Implemented as a
+  /// one-shot MigrationStream (Begin + Complete): the bulk path and the
+  /// background scheduler's throttled path share one machinery.
   StatusOr<MigrationReport> MigratePrimaryTo(storage::StorageElement* target);
+
+  // -- Chunked primary-copy migration (background scheduler) --------------------
+
+  /// Opens a chunked migration stream toward `target` (see MigrationStream).
+  /// Performs the same admission as MigratePrimaryTo: master up, target
+  /// reachable, capacity checked against the target's RAM budget.
+  StatusOr<MigrationStream> BeginPrimaryMigration(storage::StorageElement* target);
+
+  /// Ships the next slice of the stream: at least one log entry, then up to
+  /// `max_bytes` of entry payload. Charges the streaming work to both ends'
+  /// engine busy horizons (foreground ops queue behind it). Returns the wire
+  /// bytes shipped (0 when the target is fully caught up to the log head).
+  /// Fails — leaving the source authoritative — when the master changed,
+  /// crashed, or lost the target.
+  StatusOr<int64_t> ShipMigrationChunk(MigrationStream* stream, int64_t max_bytes);
+
+  /// Entries committed but not yet on the target (0 = ready for cutover).
+  int64_t MigrationLag(const MigrationStream& stream) const {
+    return static_cast<int64_t>(log_.LastSeq() - stream.shipped_seq);
+  }
+
+  /// Atomic cutover: ships the remaining delta, then flips the master slot
+  /// to the target (promoting the secondary in place, or rebinding the slot
+  /// and dropping the old primary's slice). Every acknowledged write is on
+  /// the new primary before it takes ownership.
+  StatusOr<MigrationReport> CompleteMigration(MigrationStream* stream);
+
+  /// Cancels the stream: partial state shipped to a fresh target is deleted;
+  /// a promote-path target keeps its (valid) early entries. The source
+  /// remains authoritative; no map state changed.
+  void AbortMigration(MigrationStream* stream);
+
+  /// Approximate wire bytes of the replication stream after sequence `after`
+  /// (the planner's transfer-size estimate for a migration).
+  int64_t ApproxStreamBytes(storage::CommitSeq after = 0) const;
 
   /// Merges all divergence logs after a partition heals (§5) and resyncs
   /// every replica to the merged state.
@@ -318,6 +380,10 @@ class ReplicaSet {
   /// Synchronous replication cost/acks for DUAL_SEQUENCE / QUORUM.
   Status SyncReplicate(storage::CommitSeq seq, MicroDuration* extra_latency,
                        bool* degraded);
+
+  /// Admission re-check for an open migration stream: the master must be the
+  /// one that opened it, up, and able to reach the target.
+  Status CheckMigrationStream(const MigrationStream& stream) const;
 
   ReplicaSetConfig config_;
   std::vector<Replica> replicas_;

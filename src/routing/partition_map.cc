@@ -133,26 +133,32 @@ int64_t PartitionMap::PopulationSpread() const {
   return *mx - *mn;
 }
 
+void PartitionMap::NotePrimaryMoved(uint32_t partition, int from_se, int to_se,
+                                    const replication::MigrationReport& migration) {
+  (void)partition;
+  // Secondary-load bookkeeping: a promoted secondary frees its slot on the
+  // target and the demoted primary now hosts a secondary copy.
+  if (migration.promoted_existing) {
+    --ses_[to_se].secondary_load;
+    ++ses_[from_se].secondary_load;
+  }
+  // A received primary counts toward the target's commissioning quota; the
+  // donor keeps its quota so a later lazy Commission() never re-creates
+  // partitions on the SEs a rebalance drained (which would churn the ring
+  // and undo the balance the migration paid for).
+  ++ses_[to_se].commissioned;
+}
+
 Status PartitionMap::MovePrimary(size_t partition, size_t to_idx,
                                  RebalanceReport* report) {
   ReplicaSet* rs = partitions_[partition].get();
-  size_t from_idx =
-      static_cast<size_t>(IndexOfSe(rs->replica_se(rs->master_id())));
+  int from_idx = IndexOfSe(rs->replica_se(rs->master_id()));
   sim::SiteId from_site = rs->master_site();
   auto migration = rs->MigratePrimaryTo(ses_[to_idx].se);
   if (!migration.ok()) return migration.status();
 
-  // Secondary-load bookkeeping: a promoted secondary frees its slot on the
-  // target and the demoted primary now hosts a secondary copy.
-  if (migration->promoted_existing) {
-    --ses_[to_idx].secondary_load;
-    ++ses_[from_idx].secondary_load;
-  }
-  // A received primary counts toward the target's commissioning quota; the
-  // donor keeps its quota so a later lazy Commission() never re-creates
-  // partitions on the SEs this pass just drained (which would churn the
-  // ring and undo the balance the migration paid for).
-  ++ses_[to_idx].commissioned;
+  NotePrimaryMoved(static_cast<uint32_t>(partition), from_idx,
+                   static_cast<int>(to_idx), *migration);
 
   PartitionMove move;
   move.partition = static_cast<uint32_t>(partition);
@@ -166,12 +172,16 @@ Status PartitionMap::MovePrimary(size_t partition, size_t to_idx,
   return Status::Ok();
 }
 
-Status PartitionMap::RebalanceByPrimaryCount(RebalanceReport* report) {
+void PartitionMap::PlanByPrimaryCount(
+    std::vector<int>* owner, std::vector<PlannedPrimaryMove>* plan) const {
   // Greedy: repeatedly move the cheapest primary (smallest population) off
   // the most-loaded SE onto the least-loaded one. Each move shrinks the
   // imbalance, so the loop terminates.
   while (true) {
-    std::vector<int> counts = PrimariesPerSe();
+    std::vector<int> counts(ses_.size(), 0);
+    for (int se : *owner) {
+      if (se >= 0) ++counts[se];
+    }
     size_t max_i = 0, min_i = 0;
     for (size_t i = 1; i < counts.size(); ++i) {
       if (counts[i] > counts[max_i]) max_i = i;
@@ -181,30 +191,30 @@ Status PartitionMap::RebalanceByPrimaryCount(RebalanceReport* report) {
 
     int best = -1;
     for (size_t p = 0; p < partitions_.size(); ++p) {
-      ReplicaSet* rs = partitions_[p].get();
-      if (IndexOfSe(rs->replica_se(rs->master_id())) !=
-          static_cast<int>(max_i)) {
-        continue;
-      }
+      if ((*owner)[p] != static_cast<int>(max_i)) continue;
       if (best < 0 || population_[p] < population_[best]) {
         best = static_cast<int>(p);
       }
     }
     if (best < 0) break;  // Defensive: counts said otherwise.
-    UDR_RETURN_IF_ERROR(
-        MovePrimary(static_cast<size_t>(best), min_i, report));
+    plan->push_back({static_cast<uint32_t>(best), static_cast<int>(max_i),
+                     static_cast<int>(min_i)});
+    (*owner)[best] = static_cast<int>(min_i);
   }
-  return Status::Ok();
 }
 
-Status PartitionMap::RebalanceByPopulation(RebalanceReport* report) {
+void PartitionMap::PlanByPopulation(
+    std::vector<int>* owner, std::vector<PlannedPrimaryMove>* plan) const {
   // Greedy: move a primary from the most- to the least-populated SE when a
   // candidate strictly shrinks their gap (0 < population < gap), preferring
   // the one closest to half the gap. Each move strictly decreases the sum of
   // squared per-SE populations, so the loop terminates; the cap is defensive.
   const size_t max_moves = 4 * partitions_.size() + 8;
-  while (report->moves.size() < max_moves) {
-    std::vector<int64_t> pops = PopulationPerSe();
+  while (plan->size() < max_moves) {
+    std::vector<int64_t> pops(ses_.size(), 0);
+    for (size_t p = 0; p < owner->size(); ++p) {
+      if ((*owner)[p] >= 0) pops[(*owner)[p]] += population_[p];
+    }
     size_t max_i = 0, min_i = 0;
     for (size_t i = 1; i < pops.size(); ++i) {
       if (pops[i] > pops[max_i]) max_i = i;
@@ -216,11 +226,7 @@ Status PartitionMap::RebalanceByPopulation(RebalanceReport* report) {
     int best = -1;
     int64_t best_off_center = 0;
     for (size_t p = 0; p < partitions_.size(); ++p) {
-      ReplicaSet* rs = partitions_[p].get();
-      if (IndexOfSe(rs->replica_se(rs->master_id())) !=
-          static_cast<int>(max_i)) {
-        continue;
-      }
+      if ((*owner)[p] != static_cast<int>(max_i)) continue;
       int64_t w = population_[p];
       if (w <= 0 || w >= gap) continue;  // Would not shrink the gap.
       int64_t off_center = std::abs(2 * w - gap);
@@ -230,10 +236,27 @@ Status PartitionMap::RebalanceByPopulation(RebalanceReport* report) {
       }
     }
     if (best < 0) break;  // No improving move left.
-    UDR_RETURN_IF_ERROR(
-        MovePrimary(static_cast<size_t>(best), min_i, report));
+    plan->push_back({static_cast<uint32_t>(best), static_cast<int>(max_i),
+                     static_cast<int>(min_i)});
+    (*owner)[best] = static_cast<int>(min_i);
   }
-  return Status::Ok();
+}
+
+std::vector<PlannedPrimaryMove> PartitionMap::PlanRebalance() const {
+  std::vector<PlannedPrimaryMove> plan;
+  if (partitions_.empty() || ses_.empty()) return plan;
+  // Simulated assignment the greedy passes mutate instead of live state.
+  std::vector<int> owner(partitions_.size(), -1);
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    const ReplicaSet* rs = partitions_[p].get();
+    owner[p] = IndexOfSe(rs->replica_se(rs->master_id()));
+  }
+  if (config_.rebalance_weight == RebalanceWeight::kPopulation) {
+    PlanByPopulation(&owner, &plan);
+  } else {
+    PlanByPrimaryCount(&owner, &plan);
+  }
+  return plan;
 }
 
 StatusOr<RebalanceReport> PartitionMap::Rebalance() {
@@ -244,10 +267,9 @@ StatusOr<RebalanceReport> PartitionMap::Rebalance() {
   report.population_spread_after = report.population_spread_before;
   if (partitions_.empty()) return report;
 
-  if (config_.rebalance_weight == RebalanceWeight::kPopulation) {
-    UDR_RETURN_IF_ERROR(RebalanceByPopulation(&report));
-  } else {
-    UDR_RETURN_IF_ERROR(RebalanceByPrimaryCount(&report));
+  for (const PlannedPrimaryMove& move : PlanRebalance()) {
+    UDR_RETURN_IF_ERROR(MovePrimary(move.partition,
+                                    static_cast<size_t>(move.to_se), &report));
   }
   report.spread_after = PrimarySpread();
   report.population_spread_after = PopulationSpread();

@@ -75,6 +75,18 @@ struct PartitionMove {
   replication::MigrationReport migration;
 };
 
+/// One move of a rebalancing *plan*: computed against current state without
+/// executing anything. PlanRebalance() is the single placement brain — the
+/// inline Rebalance() pass and the background migration scheduler both
+/// execute deltas it produced, so repeated planning over a balanced (or
+/// already-planned) map is a stable no-op instead of a from-scratch
+/// recomputation.
+struct PlannedPrimaryMove {
+  uint32_t partition = 0;
+  int from_se = -1;  ///< Registry index of the current primary's SE.
+  int to_se = -1;    ///< Registry index of the receiving SE.
+};
+
 /// Aggregate outcome of a rebalancing pass.
 struct RebalanceReport {
   std::vector<PartitionMove> moves;
@@ -148,12 +160,24 @@ class PartitionMap {
   /// max - min of PopulationPerSe() (0 for an empty map).
   int64_t PopulationSpread() const;
 
-  /// Migrates primary copies from the most- to the least-loaded SEs until
-  /// balanced under the configured weight: primary-count spread <= 1
-  /// (kPrimaryCount) or no population-improving move left (kPopulation).
-  /// Planned handoffs ship the full commit log before switching ownership,
-  /// so no acknowledged write is lost.
+  /// Computes the ordered delta that balances the map under the configured
+  /// weight — primary-count spread <= 1 (kPrimaryCount) or no population-
+  /// improving move left (kPopulation) — without touching any state.
+  /// Deterministic: the same map state always yields the same plan, and a
+  /// balanced map yields an empty one.
+  std::vector<PlannedPrimaryMove> PlanRebalance() const;
+
+  /// Executes PlanRebalance() inline: migrates each planned primary copy via
+  /// the commit-log handoff machinery. Planned handoffs ship the full commit
+  /// log before switching ownership, so no acknowledged write is lost.
   StatusOr<RebalanceReport> Rebalance();
+
+  /// Post-cutover bookkeeping for an externally executed primary move (the
+  /// background migration scheduler performs the chunked handoff itself and
+  /// reports it here): secondary-load accounting and the commissioning-quota
+  /// transfer that keeps a later lazy Commission() off drained SEs.
+  void NotePrimaryMoved(uint32_t partition, int from_se, int to_se,
+                        const replication::MigrationReport& migration);
 
   // -- Maintenance fan-out -----------------------------------------------------
 
@@ -165,9 +189,12 @@ class PartitionMap {
   /// recording the move and bookkeeping into `report`.
   Status MovePrimary(size_t partition, size_t to_idx, RebalanceReport* report);
 
-  /// One greedy pass per weight mode; both share MovePrimary().
-  Status RebalanceByPrimaryCount(RebalanceReport* report);
-  Status RebalanceByPopulation(RebalanceReport* report);
+  /// One greedy planning pass per weight mode, simulated over `owner`
+  /// (partition -> SE registry index); both append to `plan`.
+  void PlanByPrimaryCount(std::vector<int>* owner,
+                          std::vector<PlannedPrimaryMove>* plan) const;
+  void PlanByPopulation(std::vector<int>* owner,
+                        std::vector<PlannedPrimaryMove>* plan) const;
 
   PartitionMapConfig config_;
   sim::Network* network_;

@@ -13,8 +13,11 @@ Topology::Topology(uint32_t site_count, LatencyConfig config)
   }
   link_latency_.assign(static_cast<size_t>(site_count) * site_count,
                        config_.backbone_one_way);
+  link_bandwidth_.assign(static_cast<size_t>(site_count) * site_count,
+                         config_.backbone_bandwidth_bps);
   for (uint32_t i = 0; i < site_count; ++i) {
     link_latency_[LinkIndex(i, i)] = config_.lan_one_way;
+    link_bandwidth_[LinkIndex(i, i)] = config_.lan_bandwidth_bps;
   }
 }
 
@@ -27,6 +30,17 @@ void Topology::SetLinkLatency(SiteId a, SiteId b, MicroDuration one_way) {
   assert(a < site_count_ && b < site_count_);
   link_latency_[LinkIndex(a, b)] = one_way;
   link_latency_[LinkIndex(b, a)] = one_way;
+}
+
+void Topology::SetLinkBandwidth(SiteId a, SiteId b, int64_t bytes_per_sec) {
+  assert(a < site_count_ && b < site_count_);
+  link_bandwidth_[LinkIndex(a, b)] = bytes_per_sec;
+  link_bandwidth_[LinkIndex(b, a)] = bytes_per_sec;
+}
+
+int64_t Topology::LinkBandwidthBps(SiteId a, SiteId b) const {
+  assert(a < site_count_ && b < site_count_);
+  return link_bandwidth_[LinkIndex(a, b)];
 }
 
 MicroDuration Topology::OneWayLatency(SiteId a, SiteId b) const {

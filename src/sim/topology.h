@@ -25,6 +25,11 @@ struct LatencyConfig {
   MicroDuration backbone_one_way = Millis(15);
   /// Fixed per-hop processing overhead (balancer, LDAP server, stack).
   MicroDuration hop_overhead = Micros(30);
+  /// Sustained bulk-transfer bandwidth of a LAN link, bytes/second
+  /// (0 = unmodelled: bulk transfers complete in latency alone).
+  int64_t lan_bandwidth_bps = 0;
+  /// Sustained bulk-transfer bandwidth of a backbone link, bytes/second.
+  int64_t backbone_bandwidth_bps = 0;
 };
 
 /// Static description of sites and pairwise backbone latencies.
@@ -42,6 +47,14 @@ class Topology {
 
   /// Overrides the one-way backbone latency between two sites (symmetric).
   void SetLinkLatency(SiteId a, SiteId b, MicroDuration one_way);
+
+  /// Overrides the bulk-transfer bandwidth between two sites (symmetric,
+  /// bytes/second; 0 = unmodelled). Streaming workloads — background
+  /// migration in particular — pace their chunk transfers against this.
+  void SetLinkBandwidth(SiteId a, SiteId b, int64_t bytes_per_sec);
+
+  /// Bulk-transfer bandwidth between two sites, bytes/second (0 = unmodelled).
+  int64_t LinkBandwidthBps(SiteId a, SiteId b) const;
 
   /// One-way message latency between two sites (LAN latency when a == b).
   MicroDuration OneWayLatency(SiteId a, SiteId b) const;
@@ -61,6 +74,7 @@ class Topology {
   LatencyConfig config_;
   std::vector<std::string> names_;
   std::vector<MicroDuration> link_latency_;  // site_count^2 matrix, one-way.
+  std::vector<int64_t> link_bandwidth_;      // site_count^2 matrix, bytes/sec.
 };
 
 }  // namespace udr::sim

@@ -96,6 +96,22 @@ class StorageElement {
   /// Engine time to execute + commit one write transaction of `ops` writes.
   MicroDuration WriteServiceTime(int ops = 1) const;
 
+  // -- Background streaming load ----------------------------------------------
+
+  /// Charges `service` of engine time to background streaming work (bulk
+  /// migration copy / catch-up). The engine serves one stream at a time, so
+  /// loads accumulate: a second charge queues behind the first. Foreground
+  /// operations arriving before `busy_until` queue behind the stream.
+  void AddBackgroundLoad(MicroTime now, MicroDuration service) {
+    busy_until_ = std::max(busy_until_, now) + service;
+  }
+  /// How long a foreground op arriving at `now` waits for in-flight
+  /// background streaming work (0 when the engine is idle).
+  MicroDuration BackgroundQueueDelay(MicroTime now) const {
+    return busy_until_ > now ? busy_until_ - now : 0;
+  }
+  MicroTime busy_until() const { return busy_until_; }
+
   // -- Capacity ----------------------------------------------------------------
 
   /// Remaining RAM budget in bytes.
@@ -128,6 +144,8 @@ class StorageElement {
   RecordStore store_;
   CommitLog log_;
   TransactionManager txn_manager_;
+  /// Engine busy horizon from background streaming work (migration).
+  MicroTime busy_until_ = 0;
 };
 
 }  // namespace udr::storage

@@ -44,7 +44,20 @@ UdrNf::UdrNf(UdrConfig config, sim::Network* network)
       network_(network),
       map_(MapConfigFrom(config_), network),
       router_(&map_, network, &metrics_),
-      placement_(routing::MakePlacementPolicy(config_.placement)) {
+      placement_(routing::MakePlacementPolicy(config_.placement)),
+      bandwidth_model_(
+          migration::BandwidthModelConfig{config_.migration_bandwidth_bps,
+                                          config_.migration_chunk_bytes},
+          &network->topology()),
+      migration_(std::make_unique<migration::MigrationScheduler>(
+          migration::MigrationSchedulerConfig{
+              config_.migration_window_us,
+              config_.migration_foreground_cost_bytes},
+          &map_, &router_, &bandwidth_model_, network, &metrics_)) {
+  migration_->set_rehome_executor(
+      [this](const migration::MigrationTaskSpec& spec) {
+        return RehomeOne(spec);
+      });
   if (config_.placement == routing::PlacementKind::kHash &&
       config_.hash_routed_reads) {
     routing::HashBypassConfig bypass;
@@ -129,20 +142,71 @@ StatusOr<BladeCluster*> UdrNf::AddCluster(sim::SiteId site) {
 }
 
 StatusOr<routing::RebalanceReport> UdrNf::Rebalance() {
-  auto report = map_.Rebalance();
-  if (report.ok()) {
-    metrics_.Add("rebalance.passes");
-    metrics_.Add("rebalance.moves",
-                 static_cast<int64_t>(report->moves.size()));
-    metrics_.Observe("rebalance.duration_us", report->duration);
-    metrics_.Observe("rebalance.bytes_moved", report->bytes_moved);
-    metrics_.Observe("rebalance.population_spread_after",
-                     report->population_spread_after);
-  } else {
-    metrics_.Add("rebalance.failed");
+  routing::RebalanceReport report;
+  report.spread_before = map_.PrimarySpread();
+  report.spread_after = report.spread_before;
+  report.population_spread_before = map_.PopulationSpread();
+  report.population_spread_after = report.population_spread_before;
+
+  // Plan (unless a rebalance is already in flight — repeated calls drain the
+  // existing delta instead of recomputing placement from scratch), then run
+  // the primary moves to completion through the one migration scheduler.
+  // Queued re-home tasks keep their throttle: the synchronous barrier is for
+  // the rebalance delta only.
+  StartMigration();
+  const auto& tasks = migration_->tasks();
+  std::vector<size_t> live;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (!tasks[i].terminal() &&
+        tasks[i].spec.kind == migration::TaskKind::kPrimaryMove) {
+      live.push_back(i);
+    }
   }
+  migration_->DrainPrimaryMoves();
+
+  for (size_t i : live) {
+    const migration::MigrationTask& task = tasks[i];
+    if (task.state == migration::TaskState::kFailed) {
+      metrics_.Add("rebalance.failed");
+      return task.error;
+    }
+    routing::PartitionMove move;
+    move.partition = task.spec.partition;
+    move.from_site =
+        map_.se_info(static_cast<size_t>(task.spec.from_se)).se->site();
+    move.to_site =
+        map_.se_info(static_cast<size_t>(task.spec.to_se)).se->site();
+    move.migration = task.report;
+    report.entries_replayed += task.report.entries_replayed;
+    report.bytes_moved += task.report.bytes_moved;
+    report.duration += task.report.duration;
+    report.moves.push_back(std::move(move));
+  }
+  report.spread_after = map_.PrimarySpread();
+  report.population_spread_after = map_.PopulationSpread();
+
+  metrics_.Add("rebalance.passes");
+  metrics_.Add("rebalance.moves", static_cast<int64_t>(report.moves.size()));
+  metrics_.Observe("rebalance.duration_us", report.duration);
+  metrics_.Observe("rebalance.bytes_moved", report.bytes_moved);
+  metrics_.Observe("rebalance.population_spread_after",
+                   report.population_spread_after);
   return report;
 }
+
+migration::MigrationProgress UdrNf::StartMigration() {
+  if (!migration_->RebalanceInFlight()) {
+    migration::MigrationPlan plan =
+        migration::MigrationPlanner::PlanRebalance(map_);
+    if (!plan.empty()) {
+      migration_->EnqueuePlan(plan);
+      metrics_.Add("migration.plans");
+    }
+  }
+  return migration_->Progress();
+}
+
+void UdrNf::PumpMigration() { migration_->Pump(); }
 
 BladeCluster* UdrNf::ClusterAtSite(sim::SiteId site) {
   for (auto& c : clusters_) {
@@ -225,64 +289,66 @@ void UdrNf::Commission() {
 
 void UdrNf::RehomeHashKeyed() {
   // The ring grew: ~K/N hash-keyed subscribers now hash to a new partition.
-  // Ship each one to its new ring owner and rebind all of its identities, so
-  // the hash bypass (and hash placement of future identities) stays exactly
-  // consistent with the provisioned locations.
-  struct Move {
-    Identity id;
-    LocationEntry from;
-    uint32_t to = 0;
-  };
-  std::vector<Move> moves;
-  for (const auto& [id, entry] : router_.bindings()) {
-    if (id.type != config_.hash_identity_type) continue;
-    uint32_t owner = map_.PartitionOfIdentity(id);
-    if (owner != entry.partition) {
-      moves.push_back({id, entry, owner});
-    } else {
-      // The ring owner agrees with the provisioned location again (e.g. a
-      // later ring change undid the split that once stranded this
-      // subscriber): any bypass exception left from a failed re-home is
-      // obsolete and would pin the slow path forever.
-      router_.ClearBypassException(id);
-    }
+  // Each one becomes a re-home task through the migration scheduler; its
+  // identity resolves through the location stage (bypass exception, added at
+  // enqueue) for the whole migration window and goes back to the fast path
+  // at cutover. Unthrottled deployments drain inline — the pre-subsystem
+  // synchronous behavior; throttled ones drain through PumpMigration.
+  migration::MigrationPlan plan = migration::MigrationPlanner::PlanRehome(
+      router_, map_, config_.hash_identity_type);
+  for (const Identity& id : plan.already_homed) {
+    // The ring owner agrees with the provisioned location again (e.g. a
+    // later ring change undid the split that once stranded this subscriber):
+    // any bypass exception left from a failed re-home is obsolete and would
+    // pin the slow path forever.
+    router_.ClearBypassException(id);
   }
-  for (const Move& m : moves) {
-    ReplicaSet* from = map_.partition(m.from.partition);
-    ReplicaSet* to = map_.partition(m.to);
-    auto record = from->ReadRecord(from->master_site(), m.from.key,
-                                   ReadPreference::kMasterOnly);
-    replication::WriteResult write;
-    if (record.ok()) {
-      WriteBuilder put;
-      put.PutRecord(m.from.key, *record);
-      write = to->Write(to->master_site(), std::move(put).Build());
-    }
-    if (!record.ok() || !write.status.ok()) {
-      // The move failed; the old partition keeps the record and the binding.
-      // The bypass would now compute the NEW ring owner and miss, so this
-      // identity must resolve through the location stage until a later ring
-      // change re-homes it.
-      router_.AddBypassException(m.id);
-      metrics_.Add("hash.rehome.failed");
-      continue;
-    }
-    WriteBuilder del;
-    del.Delete(m.from.key);
-    (void)from->Write(from->master_site(), std::move(del).Build());
+  if (plan.empty()) return;
+  migration_->EnqueuePlan(plan);
+  if (config_.migration_bandwidth_bps <= 0) migration_->DrainAll();
+}
 
-    LocationEntry entry;
-    entry.key = m.from.key;
-    entry.partition = m.to;
-    for (const Identity& sub_id : IdentitiesOfRecord(*record)) {
-      router_.Bind(sub_id, entry);
-    }
-    router_.Bind(m.id, entry);
-    router_.ClearBypassException(m.id);
-    map_.AddPopulation(m.from.partition, -1);
-    map_.AddPopulation(m.to, 1);
-    metrics_.Add("hash.rehome.moved");
+StatusOr<int64_t> UdrNf::RehomeOne(const migration::MigrationTaskSpec& spec) {
+  // Revalidate against live state: the binding may have moved, vanished, or
+  // been re-homed by a later ring change while the task sat in the queue.
+  auto lookup = router_.AuthoritativeLookup(spec.identity);
+  if (!lookup.ok()) return int64_t{0};  // Deleted meanwhile; nothing to move.
+  const LocationEntry from_entry = *lookup;
+  uint32_t owner = map_.PartitionOfIdentity(spec.identity);
+  if (owner == from_entry.partition) return int64_t{0};  // Already homed.
+
+  ReplicaSet* from = map_.partition(from_entry.partition);
+  ReplicaSet* to = map_.partition(owner);
+  auto record = from->ReadRecord(from->master_site(), from_entry.key,
+                                 ReadPreference::kMasterOnly);
+  replication::WriteResult write;
+  if (record.ok()) {
+    WriteBuilder put;
+    put.PutRecord(from_entry.key, *record);
+    write = to->Write(to->master_site(), std::move(put).Build());
   }
+  if (!record.ok() || !write.status.ok()) {
+    // The move failed; the old partition keeps the record and the binding,
+    // and the enqueue-time bypass exception keeps routing this identity
+    // through the location stage until a later ring change re-plans it.
+    metrics_.Add("hash.rehome.failed");
+    return record.ok() ? write.status : record.status();
+  }
+  WriteBuilder del;
+  del.Delete(from_entry.key);
+  (void)from->Write(from->master_site(), std::move(del).Build());
+
+  LocationEntry entry;
+  entry.key = from_entry.key;
+  entry.partition = owner;
+  for (const Identity& sub_id : IdentitiesOfRecord(*record)) {
+    router_.Bind(sub_id, entry);
+  }
+  router_.Bind(spec.identity, entry);
+  map_.AddPopulation(from_entry.partition, -1);
+  map_.AddPopulation(owner, 1);
+  metrics_.Add("hash.rehome.moved");
+  return record->ApproxBytes();
 }
 
 StatusOr<UdrNf::CreateOutcome> UdrNf::CreateSubscriber(const CreateSpec& spec,
@@ -441,6 +507,7 @@ ReadPreference UdrNf::ReadPrefFor(const LdapRequest& request) const {
 }
 
 LdapResult UdrNf::Process(const LdapRequest& request, uint32_t poa_site) {
+  migration_->OnForegroundOps(1);
   switch (request.op) {
     case ldap::LdapOp::kSearch:
       return DoSearch(request, poa_site);
@@ -848,6 +915,7 @@ ldap::LdapBatchResult UdrNf::ProcessBatch(
 
   routing::BatchRequest batch;
   std::vector<std::pair<size_t, RequestSlot>> slots;  // request idx -> slot.
+  int64_t pipeline_requests = 0;  // Inline ops count via Process() instead.
   auto flush = [&]() {
     if (batch.empty()) return;
     routing::BatchResult br = router_.RouteBatch(batch, poa_site);
@@ -879,6 +947,7 @@ ldap::LdapBatchResult UdrNf::ProcessBatch(
       if (executed_inline) out.latency += slot.inline_result.latency;
       out.results[i] = std::move(slot.inline_result);
     } else {
+      ++pipeline_requests;
       slots.emplace_back(i, std::move(slot));
     }
   }
@@ -887,6 +956,9 @@ ldap::LdapBatchResult UdrNf::ProcessBatch(
   metrics_.Add("udr.batch.count");
   metrics_.Add("udr.batch.ops", static_cast<int64_t>(requests.size()));
   if (!out.ok()) metrics_.Add("udr.batch.failed_ops", out.failed_ops());
+  // Priority coupling: foreground ops displace migration budget from the
+  // scheduler's pacing window (no-op unless the knob is configured).
+  migration_->OnForegroundOps(pipeline_requests);
   return out;
 }
 
@@ -997,6 +1069,11 @@ ldap::LdapBatchResult UdrNf::FinalizeEvent(PendingEvent& event,
   metrics_.Add("udr.batch.count");
   metrics_.Add("udr.batch.ops", static_cast<int64_t>(event.requests.size()));
   if (!out.ok()) metrics_.Add("udr.batch.failed_ops", out.failed_ops());
+  int64_t pipeline_requests = 0;  // Inline ops counted via Process() already.
+  for (const RequestSlot& slot : event.slots) {
+    if (slot.kind != RequestSlot::Kind::kInline) ++pipeline_requests;
+  }
+  migration_->OnForegroundOps(pipeline_requests);
   return out;
 }
 
@@ -1038,6 +1115,9 @@ void UdrNf::PumpEvents() {
   for (uint32_t c = 0; c < coalescers_.size(); ++c) {
     if (coalescers_[c]->FlushIfDue()) DrainCoalescer(c);
   }
+  // One sim loop drives both batching primitives: the PoA dispatch windows
+  // and the background migration scheduler.
+  PumpMigration();
 }
 
 void UdrNf::FlushEvents() {

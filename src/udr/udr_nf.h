@@ -31,6 +31,9 @@
 #include "ldap/message.h"
 #include "location/identity.h"
 #include "location/location_stage.h"
+#include "migration/bandwidth_model.h"
+#include "migration/planner.h"
+#include "migration/scheduler.h"
 #include "replication/replica_set.h"
 #include "routing/coalescer.h"
 #include "routing/partition_map.h"
@@ -87,6 +90,23 @@ struct UdrConfig {
   /// Closes an open window early once this many ops are parked across the
   /// in-flight events (0 = deadline-only close).
   int coalesce_max_ops = 0;
+  /// Background migration: cap on migration traffic per SE-pair link,
+  /// bytes/second. 0 = unthrottled — every planned move (scale-out
+  /// rebalance, weighted rebalance, hash re-homing) drains inline, the
+  /// pre-subsystem behavior. > 0 turns those moves into background tasks
+  /// paced by the migration scheduler's token bucket and drained by
+  /// PumpMigration / PumpEvents.
+  int64_t migration_bandwidth_bps = 0;
+  /// Transfer unit of the background scheduler: a migration step ships at
+  /// most this many bytes before yielding to foreground traffic.
+  int64_t migration_chunk_bytes = 64 * 1024;
+  /// Token-bucket burst window of the migration scheduler (the bucket holds
+  /// at most one window's worth of bytes at the effective link rate).
+  MicroDuration migration_window_us = Millis(1);
+  /// Priority knob: each foreground operation displaces this many bytes of
+  /// migration budget from the window, so foreground load shrinks
+  /// background throughput (0 = no displacement).
+  int64_t migration_foreground_cost_bytes = 0;
   storage::StorageElementConfig se_template;
   ldap::LdapServerConfig ldap_template;
   location::LocationCostModel location_model;
@@ -121,10 +141,42 @@ class UdrNf : public ldap::LdapBackend {
   /// ring owner changed, keeping the location bypass correct.
   void CommissionPartitions() { Commission(); }
 
-  /// Live rebalancing after scale-out: migrates primary copies onto
-  /// under-loaded storage elements (per-SE primary-count spread <= 1) via
-  /// the commit-log resync machinery. No acknowledged write is lost.
+  /// Live rebalancing after scale-out: plans the primary-copy delta via the
+  /// migration planner and drains it synchronously through the background
+  /// scheduler (chunked copy -> catch-up -> atomic cutover per partition).
+  /// No acknowledged write is lost. Idempotent: a rebalance already in
+  /// flight is drained instead of re-planned, and a balanced map plans an
+  /// empty delta.
   StatusOr<routing::RebalanceReport> Rebalance();
+
+  // -- Background migration (src/migration) -------------------------------------
+
+  /// Plans the current rebalancing delta and enqueues it for background,
+  /// bandwidth-throttled execution (no-op when a rebalance is already in
+  /// flight). The move proceeds as PumpMigration drains it; foreground
+  /// traffic keeps flowing, protected by the bandwidth model. Returns the
+  /// scheduler's progress snapshot after planning.
+  migration::MigrationProgress StartMigration();
+
+  /// Performs whatever migration steps the bandwidth budget affords at the
+  /// current sim time. PumpEvents() calls this too, so one sim loop drives
+  /// both the PoA dispatch windows and background migration.
+  void PumpMigration();
+
+  /// Progress snapshot of the background migration scheduler.
+  migration::MigrationProgress MigrationStatus() const {
+    return migration_->Progress();
+  }
+  /// Any migration task still pending (copy, catch-up, or queued).
+  bool MigrationActive() const { return migration_->HasWork(); }
+
+  /// When the next migration chunk's byte budget matures (kTimeInfinity
+  /// when idle; "now" when work is ready) — lets drivers advance the clock
+  /// to exactly the next pacing step, like NextEventDeadline for windows.
+  MicroTime NextMigrationDeadline() const { return migration_->NextDeadline(); }
+
+  /// The background scheduler (introspection for tests and benches).
+  migration::MigrationScheduler& migration_scheduler() { return *migration_; }
 
   size_t cluster_count() const { return clusters_.size(); }
   BladeCluster* cluster(uint32_t id) { return clusters_[id].get(); }
@@ -273,8 +325,17 @@ class UdrNf : public ldap::LdapBackend {
   /// subscriber whose ring owner changed when new partitions joined — the
   /// consistent-hashing data migration that keeps {partition, key} a pure
   /// function of the identity (and so the location bypass correct).
+  /// Re-homes ride the migration scheduler: inline when unthrottled,
+  /// as paced background tasks (each identity bypass-excepted for its
+  /// migration window) when a bandwidth cap is configured.
   void Commission();
   void RehomeHashKeyed();
+
+  /// Executes one re-home task for the scheduler: ships the record to its
+  /// live ring owner, rebinds every identity, keeps population bookkeeping.
+  /// Returns the bytes moved (0 when the binding vanished or already
+  /// agrees — the task is then a successful no-op).
+  StatusOr<int64_t> RehomeOne(const migration::MigrationTaskSpec& spec);
 
   ldap::LdapResult DoSearch(const ldap::LdapRequest& request, uint32_t poa_site);
   ldap::LdapResult DoAdd(const ldap::LdapRequest& request, uint32_t poa_site);
@@ -363,6 +424,8 @@ class UdrNf : public ldap::LdapBackend {
   routing::PartitionMap map_;
   routing::Router router_;
   std::unique_ptr<routing::PlacementPolicy> placement_;
+  migration::BandwidthModel bandwidth_model_;
+  std::unique_ptr<migration::MigrationScheduler> migration_;
 
   std::vector<std::unique_ptr<BladeCluster>> clusters_;
   /// One cross-event dispatch window per cluster's PoA (1:1 with clusters_).

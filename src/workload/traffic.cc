@@ -41,6 +41,18 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
     ClassStats* cls = nullptr;
   };
   std::vector<InFlight> in_flight;
+  // Scores one FE outcome, tagging it as migration-concurrent when the
+  // background scheduler still holds work at fold time.
+  auto fold_fe = [&](ClassStats& cls, const ProcedureResult& r) {
+    cls.Fold(r);
+    if (opts.pump_migration && bed.udr().MigrationActive()) {
+      report.fe_during_migration.Fold(r);
+      if (r.ok()) {
+        bed.udr().metrics().Observe("migration.foreground_latency_during",
+                                    r.latency);
+      }
+    }
+  };
   auto collect = [&]() {
     for (auto it = in_flight.begin(); it != in_flight.end();) {
       std::optional<ProcedureResult> done = it->fe->TakeDeferred(it->handle);
@@ -49,7 +61,7 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
         continue;
       }
       report.fe_queue_delay.Record(done->queue_delay);
-      it->cls->Fold(*done);
+      fold_fe(*it->cls, *done);
       it = in_flight.erase(it);
     }
   };
@@ -60,7 +72,7 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
     if (r.deferred()) {
       in_flight.push_back({*r.pending, &fe, &cls});
     } else {
-      cls.Fold(r);
+      fold_fe(cls, r);
     }
   };
 
@@ -86,6 +98,16 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
         clock.AdvanceTo(std::max(flush_at, clock.Now()));
         bed.udr().PumpEvents();
         collect();
+        continue;
+      }
+    }
+    if (opts.pump_migration) {
+      // Wake at the scheduler's next chunk deadline: throttled background
+      // moves make exactly the progress the bandwidth budget matured.
+      MicroTime mig_at = bed.udr().NextMigrationDeadline();
+      if (mig_at <= std::min(next, horizon)) {
+        clock.AdvanceTo(std::max(mig_at, clock.Now()));
+        bed.udr().PumpMigration();
         continue;
       }
     }
@@ -160,6 +182,11 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
     // End-of-run barrier: close every still-open window and score the rest.
     bed.udr().FlushEvents();
     collect();
+  }
+  if (opts.pump_migration && report.fe_during_migration.ok > 0) {
+    // The foreground-impact headline figure of the bandwidth model.
+    bed.udr().metrics().Observe("migration.foreground_p99_during",
+                                report.fe_during_migration.latency.P99());
   }
   return report;
 }

@@ -39,6 +39,13 @@ struct TrafficOptions {
   /// flush and collects the demuxed per-event results. Only meaningful when
   /// the UDR deploys `coalesce_window_us > 0`; 1 = the inline drivers above.
   int concurrent_events = 1;
+  /// Drive background migration concurrently with the traffic: the run loop
+  /// wakes at the scheduler's chunk deadlines (NextMigrationDeadline) and
+  /// pumps it, so throttled moves interleave with foreground procedures.
+  /// Foreground procedures issued while a migration is in flight are
+  /// additionally folded into TrafficReport::fe_during_migration and the
+  /// `migration.foreground_latency_during` metrics histogram.
+  bool pump_migration = false;
 };
 
 /// Aggregated statistics for one traffic class.
@@ -81,6 +88,10 @@ struct TrafficReport {
   ClassStats fe_read;   ///< Read-only FE procedures.
   ClassStats fe_write;  ///< FE procedures containing writes.
   ClassStats ps;        ///< Provisioning-system operations.
+  /// FE procedures that ran while a background migration was in flight
+  /// (also counted in fe_read/fe_write) — the foreground-impact view the
+  /// bandwidth model is judged by. Empty unless pump_migration drove one.
+  ClassStats fe_during_migration;
   /// Queueing delay of deferred FE events (time parked in the PoA dispatch
   /// window, µs) — empty unless the concurrent-event driver ran.
   Histogram fe_queue_delay;
