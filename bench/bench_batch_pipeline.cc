@@ -82,7 +82,7 @@ MicroDuration RunPerOp(workload::Testbed& bed, const BatchRequest& batch) {
         storage::WriteOp w;
         w.kind = storage::WriteKind::kUpsertAttr;
         w.key = route.key;
-        w.attr = m.attr;
+        w.attr_id = storage::InternAttr(m.attr);
         w.attribute.value = m.value;
         ops.push_back(std::move(w));
       }

@@ -149,10 +149,10 @@ bool SamePayload(const ldap::LdapBatchResult& a,
       return false;
     }
     for (size_t j = 0; j < ra.entries.size(); ++j) {
-      for (const auto& [name, attr] : ra.entries[j].record.attributes()) {
-        auto v = rb.entries[j].record.Get(name);
+      for (const storage::PackedAttr& e : ra.entries[j].record.entries()) {
+        auto v = rb.entries[j].record.Get(storage::AttrNameOf(e.name_id));
         if (!v.has_value() ||
-            storage::ValueToString(attr.value) != storage::ValueToString(*v)) {
+            storage::ValueToString(e.attr.value) != storage::ValueToString(*v)) {
           return false;
         }
       }

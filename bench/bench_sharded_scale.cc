@@ -1,0 +1,165 @@
+// Sharded execution-mode scaling benchmark (self-checking, plain main):
+// runs the same operation stream over 1/2/4/8 shard threads
+// (workload::RunShardedTraffic -> exec::ShardRuntime) and reports throughput
+// per shard count.
+//
+// Core accounting: throughput is measured on per-shard CPU time
+// (CLOCK_THREAD_CPUTIME_ID around Execute, idle polling excluded), and the
+// aggregate is the sum of per-shard service rates — the capacity the fleet
+// sustains given one core per shard. This is deliberately NOT wall-clock
+// speedup: on a host with fewer cores than shards the workers time-share and
+// wall time cannot scale, but the CPU-time basis still exposes any
+// cross-shard contention (a shared lock or allocator raises busy-ns/op and
+// drags the aggregate down). Wall ops/sec is reported alongside for honesty.
+//
+//   S1  throughput per shard count: wall ops/s, aggregate (CPU basis),
+//       ops/s/core.
+//   S2  gates: aggregate speedup at 4 shards >= 2.5x over 1 shard; zero
+//       per-key order violations; zero failed ops; zero end-state sequence
+//       mismatches.
+//
+// Emits BENCH_sharded_scale.json (to $UDR_BENCH_SHARDED_SCALE_JSON, or
+// ./BENCH_sharded_scale.json).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "workload/sharded_traffic.h"
+
+using namespace udr;
+
+namespace {
+
+struct ScaleRow {
+  int shards = 0;
+  double wall_ops_per_sec = 0.0;
+  double aggregate_ops_per_sec = 0.0;
+  double ops_per_sec_per_core = 0.0;
+  int64_t ops_done = 0;
+  int64_t failed = 0;
+  int64_t order_violations = 0;
+  int64_t seq_mismatches = 0;
+};
+
+workload::TrafficOptions RunOptions(int shards) {
+  workload::TrafficOptions opts;
+  opts.subscriber_count = 4000;
+  opts.seed = 42;
+  opts.num_shards = shards;
+  opts.sharded_total_ops = 60000;
+  opts.sharded_write_fraction = 0.3;
+  opts.sharded_batch_ops = 8;
+  return opts;
+}
+
+ScaleRow RunOne(int shards) {
+  auto report = workload::RunShardedTraffic(RunOptions(shards));
+  ScaleRow row;
+  row.shards = shards;
+  row.wall_ops_per_sec = report.runtime.wall_ops_per_sec;
+  row.aggregate_ops_per_sec = report.runtime.aggregate_ops_per_sec;
+  row.ops_per_sec_per_core = report.runtime.ops_per_sec_per_core;
+  row.ops_done = report.runtime.ops_done;
+  row.failed = report.runtime.ops_failed;
+  row.order_violations = report.runtime.order_violations;
+  row.seq_mismatches = report.seq_mismatches;
+  return row;
+}
+
+std::string JsonPath() {
+  const char* env = std::getenv("UDR_BENCH_SHARDED_SCALE_JSON");
+  return env != nullptr && env[0] != '\0' ? env : "BENCH_sharded_scale.json";
+}
+
+void WriteJson(const std::vector<ScaleRow>& rows, double speedup4, bool pass) {
+  std::string path = JsonPath();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_sharded_scale: cannot write %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_sharded_scale\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"shards\": %d, \"wall_ops_per_sec\": %.0f, "
+                 "\"aggregate_ops_per_sec\": %.0f, \"ops_per_sec_per_core\": "
+                 "%.0f, \"ops\": %lld, \"failed\": %lld, "
+                 "\"order_violations\": %lld, \"seq_mismatches\": %lld}%s\n",
+                 r.shards, r.wall_ops_per_sec, r.aggregate_ops_per_sec,
+                 r.ops_per_sec_per_core, static_cast<long long>(r.ops_done),
+                 static_cast<long long>(r.failed),
+                 static_cast<long long>(r.order_violations),
+                 static_cast<long long>(r.seq_mismatches),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"aggregate_speedup_at_4_shards\": %.2f,\n",
+               speedup4);
+  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+  std::fclose(f);
+  std::printf("bench_sharded_scale: wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> shard_counts = {1, 2, 4, 8};
+  std::vector<ScaleRow> rows;
+  for (int shards : shard_counts) {
+    std::printf("bench_sharded_scale: running %d shard(s)...\n", shards);
+    rows.push_back(RunOne(shards));
+  }
+
+  const ScaleRow& base = rows[0];
+  Table t1("S1: sharded throughput, 60k ops over 4k subscribers "
+           "(aggregate = sum of per-shard CPU-time service rates)",
+           {"shards", "wall ops/s", "aggregate ops/s", "ops/s/core",
+            "speedup"});
+  for (const ScaleRow& r : rows) {
+    t1.AddRow({Table::Num(r.shards), Table::Dbl(r.wall_ops_per_sec, 0),
+               Table::Dbl(r.aggregate_ops_per_sec, 0),
+               Table::Dbl(r.ops_per_sec_per_core, 0),
+               Table::Dbl(r.aggregate_ops_per_sec / base.aggregate_ops_per_sec,
+                          2) +
+                   "x"});
+  }
+  t1.Print();
+  std::printf("\n");
+
+  double speedup4 = 0.0;
+  int64_t violations = 0, failed = 0, mismatches = 0;
+  for (const ScaleRow& r : rows) {
+    if (r.shards == 4) {
+      speedup4 = r.aggregate_ops_per_sec / base.aggregate_ops_per_sec;
+    }
+    violations += r.order_violations;
+    failed += r.failed;
+    mismatches += r.seq_mismatches;
+  }
+
+  const bool speedup_ok = speedup4 >= 2.5;
+  const bool order_ok = violations == 0;
+  const bool failed_ok = failed == 0;
+  const bool state_ok = mismatches == 0;
+  const bool pass = speedup_ok && order_ok && failed_ok && state_ok;
+
+  Table t2("S2: self-check (any failed row breaks the CI smoke)",
+           {"check", "value", "target", "verdict"});
+  t2.AddRow({"aggregate speedup @ 4 shards", Table::Dbl(speedup4, 2) + "x",
+             ">= 2.5x", speedup_ok ? "PASS" : "FAIL"});
+  t2.AddRow({"per-key order violations", Table::Num(violations), "0",
+             order_ok ? "PASS" : "FAIL"});
+  t2.AddRow({"failed ops", Table::Num(failed), "0",
+             failed_ok ? "PASS" : "FAIL"});
+  t2.AddRow({"end-state seq mismatches", Table::Num(mismatches), "0",
+             state_ok ? "PASS" : "FAIL"});
+  t2.Print();
+
+  WriteJson(rows, speedup4, pass);
+  return pass ? 0 : 1;
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (build + ctest), a Release (-O2) build that
 # smoke-runs every benchmark (1 timing iteration + the self-checking tables,
-# so benches can't silently rot), and an ASan/UBSan build of the test suite.
+# so benches can't silently rot), an ASan/UBSan build of the test suite, and
+# a TSan build that runs the sharded-execution tests (exec_test).
 # Usage: ./ci.sh [--skip-sanitizers]
 set -euo pipefail
 
@@ -23,16 +24,20 @@ echo "== Release: benchmark smoke (1 iteration each) =="
 # The loop globs every bench target, but the self-checking ones the
 # acceptance gates ride on must exist (a glob would silently skip a bench
 # that fell out of the build).
-for required in bench_batch_pipeline bench_coalescer bench_migration; do
+for required in bench_batch_pipeline bench_coalescer bench_migration \
+                bench_record_layout bench_sharded_scale; do
   if [[ ! -x "build-release/bench/${required}" ]]; then
     echo "SMOKE FAILED: required benchmark ${required} was not built"
     exit 1
   fi
 done
-# bench_migration emits a machine-readable result file for the bench
-# trajectory; point it into the build tree and verify it appears.
+# The self-checking benches emit machine-readable result files for the bench
+# trajectory; point them into the build tree and verify they appear.
 export UDR_BENCH_JSON_PATH="${PWD}/build-release/BENCH_migration.json"
-rm -f "${UDR_BENCH_JSON_PATH}"
+export UDR_BENCH_RECORD_LAYOUT_JSON="${PWD}/build-release/BENCH_record_layout.json"
+export UDR_BENCH_SHARDED_SCALE_JSON="${PWD}/build-release/BENCH_sharded_scale.json"
+rm -f "${UDR_BENCH_JSON_PATH}" "${UDR_BENCH_RECORD_LAYOUT_JSON}" \
+      "${UDR_BENCH_SHARDED_SCALE_JSON}"
 bench_failed=0
 for bench in build-release/bench/bench_*; do
   [[ -x "${bench}" ]] || continue
@@ -55,11 +60,14 @@ if [[ "${bench_failed}" != 0 ]]; then
   echo "== benchmark smoke: FAILED =="
   exit 1
 fi
-if [[ ! -s "${UDR_BENCH_JSON_PATH}" ]]; then
-  echo "SMOKE FAILED: bench_migration did not emit ${UDR_BENCH_JSON_PATH}"
-  exit 1
-fi
-echo "== benchmark smoke: all green (BENCH_migration.json emitted) =="
+for json in "${UDR_BENCH_JSON_PATH}" "${UDR_BENCH_RECORD_LAYOUT_JSON}" \
+            "${UDR_BENCH_SHARDED_SCALE_JSON}"; do
+  if [[ ! -s "${json}" ]]; then
+    echo "SMOKE FAILED: benchmark did not emit ${json}"
+    exit 1
+  fi
+done
+echo "== benchmark smoke: all green (bench JSON files emitted) =="
 
 if [[ "${1:-}" == "--skip-sanitizers" ]]; then
   echo "== sanitizers skipped =="
@@ -76,5 +84,15 @@ echo "== ASan/UBSan: ctest =="
 # the most state around.
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo "== TSan: configure + build =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUDR_TSAN=ON
+cmake --build build-tsan -j "${JOBS}"
+
+echo "== TSan: sharded execution tests =="
+# The multi-threaded surface: SPSC handoff queues, the lock-free AttrPool
+# read path, per-shard metrics merging, and the shard runtime itself.
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan -R exec_test --output-on-failure
 
 echo "== ci.sh: all green =="

@@ -1,56 +1,109 @@
 // Lightweight named-counter / named-histogram registry used by the simulation
 // components to report what happened during a scenario run.
+//
+// Thread safety: counter and histogram mutation through Add() / Observe() /
+// Get() / MergeFrom() / Reset() / Dump() is guarded by an internal mutex, so
+// a registry may be shared by the concurrent shard threads of the
+// multi-threaded execution mode (src/exec/). The reference-returning
+// accessors (Hist(), counters(), histograms()) exist for the single-threaded
+// simulation drivers and are NOT safe against concurrent mutators — shard
+// runtimes give each shard its own registry and merge them on read via
+// MergeFrom() instead of sharing references.
 
 #ifndef UDR_COMMON_METRICS_H_
 #define UDR_COMMON_METRICS_H_
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/histogram.h"
 
 namespace udr {
 
-/// A registry of named counters and histograms. Not thread-safe (the
-/// simulation is single-threaded by design).
+/// A registry of named counters and histograms.
 class Metrics {
  public:
-  /// Adds `delta` to the named counter (creating it at zero).
-  void Add(const std::string& name, int64_t delta = 1) { counters_[name] += delta; }
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
 
-  /// Current value of the named counter (0 when absent).
+  /// Adds `delta` to the named counter (creating it at zero). Thread-safe.
+  void Add(const std::string& name, int64_t delta = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+  }
+
+  /// Current value of the named counter (0 when absent). Thread-safe.
   int64_t Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
 
-  /// Records a sample into the named histogram.
+  /// Records a sample into the named histogram. Thread-safe.
   void Observe(const std::string& name, int64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
     histograms_[name].Record(value);
   }
 
-  /// Access to a named histogram (created empty on first use).
-  Histogram& Hist(const std::string& name) { return histograms_[name]; }
+  /// Access to a named histogram (created empty on first use). The returned
+  /// reference is only safe while no other thread mutates this registry.
+  Histogram& Hist(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histograms_[name];
+  }
 
-  /// Read-only view of the named histogram; an empty one when absent.
+  /// Read-only view of the named histogram; an empty one when absent. Same
+  /// single-threaded caveat as Hist().
   const Histogram& HistOrEmpty(const std::string& name) const {
     static const Histogram kEmpty;
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = histograms_.find(name);
     return it == histograms_.end() ? kEmpty : it->second;
   }
 
-  const std::map<std::string, int64_t>& counters() const { return counters_; }
-  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  /// Snapshot of every counter. Thread-safe (copies under the lock).
+  std::map<std::string, int64_t> CountersSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
 
-  /// Clears all counters and histograms.
+  /// Folds another registry into this one: counters add, histograms merge.
+  /// The per-shard pattern — each shard owns a registry, readers merge.
+  void MergeFrom(const Metrics& o) {
+    // Snapshot the source first so the two locks never nest (no lock-order
+    // deadlock between two registries merging into each other).
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, Histogram> histograms;
+    {
+      std::lock_guard<std::mutex> lock(o.mu_);
+      counters = o.counters_;
+      histograms = o.histograms_;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [k, v] : counters) counters_[k] += v;
+    for (const auto& [k, h] : histograms) histograms_[k].Merge(h);
+  }
+
+  /// Reference views for single-threaded drivers (tests, sim reports). Not
+  /// safe against concurrent mutators.
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Clears all counters and histograms. Thread-safe.
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     counters_.clear();
     histograms_.clear();
   }
 
   /// Multi-line dump of all counters (for debugging and examples).
   std::string Dump() const {
+    std::lock_guard<std::mutex> lock(mu_);
     std::string out;
     for (const auto& [k, v] : counters_) {
       out += k;
@@ -68,6 +121,7 @@ class Metrics {
   }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;
   std::map<std::string, Histogram> histograms_;
 };

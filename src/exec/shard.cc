@@ -1,0 +1,141 @@
+#include "exec/shard.h"
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "routing/batch.h"
+#include "sim/topology.h"
+
+namespace udr::exec {
+
+namespace {
+
+// splitmix64 — spreads sequential subscriber indices uniformly over shards.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr char kSeqAttr[] = "shard-seq";
+
+}  // namespace
+
+int Shard::ShardOfSubscriber(uint64_t subscriber, int num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<int>(Mix64(subscriber) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+Shard::Shard(int index, int num_shards, const ShardOptions& opts)
+    : index_(index), num_shards_(num_shards), opts_(opts),
+      factory_(opts.seed) {}
+
+Shard::~Shard() = default;
+
+void Shard::Provision() {
+  // Build the shard's private data-path slice: one site, one blade cluster,
+  // its own partitions and replica sets. Nothing here is reachable from any
+  // other shard.
+  sim::Topology topology(1);
+  network_ = std::make_unique<sim::Network>(std::move(topology), &clock_);
+
+  udrnf::UdrConfig config;
+  config.replication_factor = opts_.replication_factor;
+  config.se_per_cluster = opts_.se_per_cluster;
+  config.partitions_per_se = opts_.partitions_per_se;
+  udr_ = std::make_unique<udrnf::UdrNf>(config, network_.get());
+  auto cluster = udr_->AddCluster(0);
+  assert(cluster.ok());
+  (void)cluster;
+  udr_->CommissionPartitions();
+
+  routing::CoalescerConfig wc;
+  wc.window = opts_.dispatch_window;
+  wc.max_ops = opts_.dispatch_max_ops;
+  wc.poa_site = 0;
+  window_ = std::make_unique<routing::Coalescer>(wc, &udr_->router(), &clock_,
+                                                 &udr_->metrics());
+
+  for (uint64_t sub = 0; sub < opts_.total_subscribers; ++sub) {
+    if (ShardOfSubscriber(sub, num_shards_) != index_) continue;
+    auto spec = factory_.MakeSpec(sub);
+    auto outcome = udr_->CreateSubscriber(spec, 0);
+    if (outcome.ok()) ++provisioned_;
+  }
+  // Let slave copies settle so nearest-preference reads see the profiles.
+  clock_.Advance(Seconds(1));
+  udr_->CatchUpAllPartitions();
+}
+
+location::Identity Shard::IdentityOf(uint64_t subscriber) const {
+  return {location::IdentityType::kImsi, factory_.ImsiOf(subscriber)};
+}
+
+void Shard::Execute(const ShardBatch& batch) {
+  if (batch.ops.empty()) return;
+  routing::BatchRequest req;
+  for (const ShardOp& op : batch.ops) {
+    // Per-key order check: the driver stamps per-subscriber monotonically
+    // increasing sequence numbers; seeing a regression here means the
+    // handoff reordered operations.
+    auto [it, fresh] = last_seq_.try_emplace(op.subscriber, op.seq);
+    if (!fresh) {
+      if (op.seq <= it->second) ++stats_.order_violations;
+      it->second = op.seq;
+    }
+    if (op.write) {
+      routing::Mutation m;
+      m.kind = routing::Mutation::Kind::kSet;
+      m.attr = kSeqAttr;
+      m.value = storage::Value(static_cast<int64_t>(op.seq));
+      req.Add(routing::Operation::Write(IdentityOf(op.subscriber), {m}));
+    } else {
+      req.Add(routing::Operation::ReadAttribute(IdentityOf(op.subscriber),
+                                                telecom::attr::kMsisdn));
+    }
+  }
+  stats_.ops += static_cast<int64_t>(batch.ops.size());
+  ++stats_.batches;
+  pending_.push_back(window_->Submit(std::move(req)));
+  clock_.Advance(opts_.tick);
+  window_->FlushIfDue();
+  CollectOutcomes();
+}
+
+void Shard::CollectOutcomes() {
+  size_t kept = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    auto outcome = window_->Take(pending_[i]);
+    if (!outcome) {
+      pending_[kept++] = pending_[i];
+      continue;
+    }
+    const int64_t n = static_cast<int64_t>(outcome->outcomes.size());
+    stats_.failed += outcome->failed_ops;
+    stats_.ok += n - outcome->failed_ops;
+  }
+  pending_.resize(kept);
+}
+
+void Shard::Drain() {
+  window_->FlushNow();
+  CollectOutcomes();
+  assert(pending_.empty());
+}
+
+std::optional<int64_t> Shard::ReadSeq(uint64_t subscriber) {
+  routing::BatchRequest req;
+  req.Add(routing::Operation::ReadAttribute(
+      IdentityOf(subscriber), kSeqAttr,
+      replication::ReadPreference::kMasterOnly));
+  auto result = udr_->router().RouteBatch(req, 0);
+  if (result.outcomes.empty() || !result.outcomes[0].ok()) return std::nullopt;
+  const auto& value = result.outcomes[0].value;
+  if (!value || !std::holds_alternative<int64_t>(*value)) return std::nullopt;
+  return std::get<int64_t>(*value);
+}
+
+}  // namespace udr::exec

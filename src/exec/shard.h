@@ -1,0 +1,122 @@
+// One shard of the real-concurrency execution mode: a complete, self-owned
+// slice of the UDR data path — its own PartitionMap (partitions, replica
+// sets, storage elements), its own PoA dispatch window (routing::Coalescer)
+// and its own sim clock/network — confined to a single worker thread.
+//
+// The subscriber space is split by hash: ShardOfSubscriber(i) names the only
+// shard that ever touches subscriber i's record, so shards share NOTHING
+// mutable except the thread-safe attribute intern pool and the SPSC handoff
+// queues in front of them (spsc_queue.h). Per-key operation order is
+// preserved end to end: the driver emits per-subscriber monotonically
+// increasing sequence numbers, the SPSC ring is FIFO, and the shard executes
+// on one thread through the Coalescer, whose flushes preserve per-key order
+// across coalesced events.
+
+#ifndef UDR_EXEC_SHARD_H_
+#define UDR_EXEC_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/coalescer.h"
+#include "sim/clock.h"
+#include "sim/network.h"
+#include "telecom/subscriber.h"
+#include "udr/udr_nf.h"
+
+namespace udr::exec {
+
+/// Per-shard deployment knobs.
+struct ShardOptions {
+  /// Global subscriber population; each shard provisions the subset hashing
+  /// to it.
+  uint64_t total_subscribers = 1000;
+  uint64_t seed = 42;
+  int se_per_cluster = 2;
+  int partitions_per_se = 2;
+  int replication_factor = 2;
+  /// PoA dispatch window of the shard's coalescer: size cap and sim-time
+  /// deadline (Execute advances the shard's own clock by `tick` per batch).
+  size_t dispatch_max_ops = 64;
+  MicroDuration dispatch_window = Micros(200);
+  MicroDuration tick = Micros(50);
+};
+
+/// One operation handed to a shard: a read of the subscriber's profile or a
+/// write stamping `seq` into its record. `seq` is per-subscriber
+/// monotonically increasing on the driver side — the shard verifies it never
+/// observes a regression (per-key order across the handoff).
+struct ShardOp {
+  bool write = false;
+  uint64_t subscriber = 0;
+  uint64_t seq = 0;
+};
+
+/// The handoff unit: every op in a batch must belong to the same shard.
+struct ShardBatch {
+  std::vector<ShardOp> ops;
+};
+
+/// Counters a shard accumulates on its worker thread (read after join).
+struct ShardStats {
+  int64_t ops = 0;
+  int64_t ok = 0;
+  int64_t failed = 0;
+  int64_t batches = 0;
+  int64_t order_violations = 0;
+};
+
+class Shard {
+ public:
+  /// Owning shard of a subscriber (splitmix64 of the index, mod shards).
+  static int ShardOfSubscriber(uint64_t subscriber, int num_shards);
+
+  Shard(int index, int num_shards, const ShardOptions& opts);
+  ~Shard();
+
+  int index() const { return index_; }
+
+  /// Builds the shard's data-path slice and provisions its subscriber
+  /// subset. Call from the worker thread before executing batches.
+  void Provision();
+
+  /// Executes one handed-off batch through the shard's dispatch window.
+  void Execute(const ShardBatch& batch);
+
+  /// End-of-stream barrier: flushes the dispatch window and collects every
+  /// outstanding outcome.
+  void Drain();
+
+  const ShardStats& stats() const { return stats_; }
+  int64_t provisioned() const { return provisioned_; }
+  udrnf::UdrNf& udr() { return *udr_; }
+
+  /// Master-copy read of the subscriber's stamped sequence ("shard-seq"
+  /// attribute); nullopt when the subscriber is unknown here or never
+  /// written. Post-run verification hook (call after the worker joined).
+  std::optional<int64_t> ReadSeq(uint64_t subscriber);
+
+ private:
+  void CollectOutcomes();
+  location::Identity IdentityOf(uint64_t subscriber) const;
+
+  int index_;
+  int num_shards_;
+  ShardOptions opts_;
+  sim::SimClock clock_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<udrnf::UdrNf> udr_;
+  telecom::SubscriberFactory factory_;
+  std::unique_ptr<routing::Coalescer> window_;
+  std::vector<routing::EventId> pending_;
+  std::unordered_map<uint64_t, uint64_t> last_seq_;  ///< Per-key order check.
+  ShardStats stats_;
+  int64_t provisioned_ = 0;
+};
+
+}  // namespace udr::exec
+
+#endif  // UDR_EXEC_SHARD_H_

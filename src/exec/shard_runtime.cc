@@ -1,0 +1,142 @@
+#include "exec/shard_runtime.h"
+
+#include <ctime>
+
+namespace udr::exec {
+
+namespace {
+
+int64_t WallNowNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1'000'000'000LL + ts.tv_nsec;
+}
+
+int64_t ThreadCpuNowNs() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return ts.tv_sec * 1'000'000'000LL + ts.tv_nsec;
+}
+
+}  // namespace
+
+ShardRuntime::ShardRuntime(const ShardRuntimeOptions& opts) : opts_(opts) {
+  if (opts_.num_shards < 1) opts_.num_shards = 1;
+  queues_.reserve(opts_.num_shards);
+  shards_.resize(opts_.num_shards);
+  busy_ns_.assign(opts_.num_shards, 0);
+  for (int i = 0; i < opts_.num_shards; ++i) {
+    queues_.push_back(std::make_unique<SpscQueue<ShardBatch>>(
+        opts_.queue_capacity));
+  }
+}
+
+ShardRuntime::~ShardRuntime() {
+  if (!finished_) Finish();
+}
+
+void ShardRuntime::Start() {
+  start_wall_ns_ = WallNowNs();
+  workers_.reserve(opts_.num_shards);
+  for (int i = 0; i < opts_.num_shards; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  // Provisioning barrier: don't let the driver submit into rings whose
+  // shards are still being built.
+  while (ready_.load(std::memory_order_acquire) < opts_.num_shards) {
+    std::this_thread::yield();
+  }
+}
+
+void ShardRuntime::WorkerLoop(int index) {
+  // The Shard is created, provisioned, used and left on this thread —
+  // everything it reaches (clock, network, partitions, replica sets,
+  // coalescer) is thread-confined. shards_[index] is this worker's slot
+  // only; the driver reads it after join.
+  shards_[index] =
+      std::make_unique<Shard>(index, opts_.num_shards, opts_.shard);
+  Shard& shard = *shards_[index];
+  shard.Provision();
+  ready_.fetch_add(1, std::memory_order_release);
+
+  SpscQueue<ShardBatch>& queue = *queues_[index];
+  int64_t busy = 0;
+  ShardBatch batch;
+  for (;;) {
+    if (queue.TryPop(&batch)) {
+      const int64_t t0 = ThreadCpuNowNs();
+      shard.Execute(batch);
+      busy += ThreadCpuNowNs() - t0;
+      continue;
+    }
+    if (done_.load(std::memory_order_acquire)) {
+      // End-of-stream is signalled before the final emptiness check, so a
+      // batch pushed before done_ was set can't be missed.
+      if (queue.TryPop(&batch)) {
+        const int64_t t0 = ThreadCpuNowNs();
+        shard.Execute(batch);
+        busy += ThreadCpuNowNs() - t0;
+        continue;
+      }
+      break;
+    }
+    std::this_thread::yield();
+  }
+  const int64_t t0 = ThreadCpuNowNs();
+  shard.Drain();
+  busy += ThreadCpuNowNs() - t0;
+  busy_ns_[index] = busy;
+}
+
+void ShardRuntime::Submit(ShardBatch batch, int shard) {
+  submitted_ += static_cast<int64_t>(batch.ops.size());
+  SpscQueue<ShardBatch>& queue = *queues_[shard];
+  while (!queue.TryPush(std::move(batch))) {
+    std::this_thread::yield();  // Back-pressure: ring full, consumer behind.
+  }
+}
+
+const ShardRuntimeReport& ShardRuntime::Finish() {
+  if (finished_) return report_;
+  done_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  const int64_t wall_ns = WallNowNs() - start_wall_ns_;
+  finished_ = true;
+
+  report_ = ShardRuntimeReport{};
+  report_.wall_ns = wall_ns;
+  report_.ops_submitted = submitted_;
+  for (int i = 0; i < opts_.num_shards; ++i) {
+    const Shard& shard = *shards_[i];
+    ShardReport r;
+    r.ops = shard.stats().ops;
+    r.ok = shard.stats().ok;
+    r.failed = shard.stats().failed;
+    r.batches = shard.stats().batches;
+    r.order_violations = shard.stats().order_violations;
+    r.provisioned = shard.provisioned();
+    r.busy_ns = busy_ns_[i];
+    report_.ops_done += r.ops;
+    report_.ops_failed += r.failed;
+    report_.order_violations += r.order_violations;
+    report_.aggregate_ops_per_sec += r.ops_per_busy_sec();
+    report_.shards.push_back(r);
+  }
+  if (wall_ns > 0) {
+    report_.wall_ops_per_sec =
+        report_.ops_done * 1e9 / static_cast<double>(wall_ns);
+  }
+  report_.ops_per_sec_per_core =
+      report_.aggregate_ops_per_sec / opts_.num_shards;
+  return report_;
+}
+
+void ShardRuntime::MergeMetricsInto(Metrics* out) const {
+  for (const auto& shard : shards_) {
+    if (shard) out->MergeFrom(shard->udr().metrics());
+  }
+}
+
+}  // namespace udr::exec

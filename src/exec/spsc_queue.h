@@ -1,0 +1,72 @@
+// Bounded lock-free single-producer/single-consumer ring buffer: the handoff
+// queue at the PoA boundary of the sharded execution mode. The driver thread
+// (producer) routes each batch to the shard owning its subscribers and pushes
+// it here; the shard's worker thread (consumer) pops and executes. One
+// producer and one consumer only — that restriction is what lets the ring run
+// on two atomic indices with no locks, and it encodes the shard-confinement
+// invariant: batches never cross shards except through an explicit handoff.
+
+#ifndef UDR_EXEC_SPSC_QUEUE_H_
+#define UDR_EXEC_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace udr::exec {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (index masking).
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(T&& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate (monitoring only).
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  ///< Consumer cursor.
+  alignas(64) std::atomic<uint64_t> tail_{0};  ///< Producer cursor.
+};
+
+}  // namespace udr::exec
+
+#endif  // UDR_EXEC_SPSC_QUEUE_H_

@@ -603,15 +603,11 @@ StatusOr<FailoverReport> ReplicaSet::FailOver() {
 
 namespace {
 
-/// Approximate wire footprint of one log entry's write set.
+/// Approximate wire footprint of one log entry's write set (interned-id
+/// framing — see storage::WriteOpWireBytes).
 int64_t EntryBytes(const LogEntry& e) {
   int64_t bytes = 0;
-  for (const WriteOp& op : e.ops) {
-    bytes += static_cast<int64_t>(op.attr.size()) + 16;  // Key + metadata.
-    if (op.kind == WriteKind::kUpsertAttr) {
-      bytes += storage::ValueBytes(op.attribute.value);
-    }
-  }
+  for (const WriteOp& op : e.ops) bytes += storage::WriteOpWireBytes(op);
   return bytes;
 }
 
@@ -886,7 +882,7 @@ RestorationReport ReplicaSet::RestoreConsistency() {
         }
         const Record* mrec = master_store.Find(op.key);
         const storage::Attribute* ma =
-            mrec ? mrec->Find(op.attr) : nullptr;
+            mrec ? mrec->FindById(op.attr_id) : nullptr;
         bool master_wrote_concurrently =
             ma != nullptr && ma->modified_at > base_time;
         bool values_differ =

@@ -16,24 +16,30 @@ namespace udr::replication {
 /// Fluent builder producing a vector of WriteOps for ReplicaSet::Write.
 class WriteBuilder {
  public:
-  /// Sets an attribute on a record.
-  WriteBuilder& Set(storage::RecordKey key, std::string attr,
+  /// Sets an attribute on a record (name interned into the pool).
+  WriteBuilder& Set(storage::RecordKey key, std::string_view attr,
+                    storage::Value value) {
+    return Set(key, storage::InternAttr(attr), std::move(value));
+  }
+
+  /// Sets an attribute on a record by interned id.
+  WriteBuilder& Set(storage::RecordKey key, storage::AttrId attr_id,
                     storage::Value value) {
     storage::WriteOp op;
     op.kind = storage::WriteKind::kUpsertAttr;
     op.key = key;
-    op.attr = std::move(attr);
+    op.attr_id = attr_id;
     op.attribute.value = std::move(value);
     ops_.push_back(std::move(op));
     return *this;
   }
 
   /// Removes an attribute from a record.
-  WriteBuilder& Remove(storage::RecordKey key, std::string attr) {
+  WriteBuilder& Remove(storage::RecordKey key, std::string_view attr) {
     storage::WriteOp op;
     op.kind = storage::WriteKind::kRemoveAttr;
     op.key = key;
-    op.attr = std::move(attr);
+    op.attr_id = storage::InternAttr(attr);
     ops_.push_back(std::move(op));
     return *this;
   }
@@ -50,8 +56,8 @@ class WriteBuilder {
   /// Sets every attribute of `record` on `key` (used for record creation).
   WriteBuilder& PutRecord(storage::RecordKey key,
                           const storage::Record& record) {
-    for (const auto& [name, attr] : record.attributes()) {
-      Set(key, name, attr.value);
+    for (const storage::PackedAttr& e : record.entries()) {
+      Set(key, e.name_id, e.attr.value);
     }
     return *this;
   }

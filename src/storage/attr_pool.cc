@@ -1,0 +1,46 @@
+#include "storage/attr_pool.h"
+
+namespace udr::storage {
+
+AttrPool::AttrPool() { snapshot_.store(BuildSnapshot({})); }
+
+AttrPool::Snapshot* AttrPool::BuildSnapshot(const std::deque<std::string>& names) {
+  auto* snap = new Snapshot();
+  size_t cap = 16;
+  while (cap < names.size() * 2) cap <<= 1;  // Load factor <= 0.5.
+  snap->mask = cap - 1;
+  snap->slots.assign(cap, Slot());
+  snap->names.reserve(names.size());
+  for (size_t id = 0; id < names.size(); ++id) {
+    std::string_view name(names[id]);
+    snap->names.push_back(name);
+    size_t slot = HashName(name) & snap->mask;
+    while (snap->slots[slot].id != kInvalidAttrId) {
+      slot = (slot + 1) & snap->mask;
+    }
+    snap->slots[slot] = Slot{name, static_cast<AttrId>(id)};
+  }
+  return snap;
+}
+
+AttrId AttrPool::Intern(std::string_view name) {
+  AttrId id = Lookup(name);
+  if (id != kInvalidAttrId) return id;
+  std::lock_guard<std::mutex> lock(write_mu_);
+  id = Lookup(name);  // Raced with another interner?
+  if (id != kInvalidAttrId) return id;
+  id = static_cast<AttrId>(names_.size());
+  names_.emplace_back(name);
+  pool_bytes_ += static_cast<int64_t>(sizeof(std::string) + name.size());
+  const Snapshot* fresh = BuildSnapshot(names_);
+  retired_.emplace_back(snapshot_.load(std::memory_order_relaxed));
+  snapshot_.store(fresh, std::memory_order_release);
+  return id;
+}
+
+int64_t AttrPool::PoolBytes() const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return pool_bytes_;
+}
+
+}  // namespace udr::storage

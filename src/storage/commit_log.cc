@@ -45,16 +45,24 @@ void CommitLog::TruncateAfter(CommitSeq seq) {
 void ApplyWriteOp(RecordStore* store, const WriteOp& op) {
   switch (op.kind) {
     case WriteKind::kUpsertAttr:
-      store->SetAttribute(op.key, op.attr, op.attribute.value,
+      store->SetAttribute(op.key, op.attr_id, op.attribute.value,
                           op.attribute.modified_at, op.attribute.writer);
       break;
     case WriteKind::kRemoveAttr:
-      store->RemoveAttribute(op.key, op.attr);
+      store->RemoveAttribute(op.key, op.attr_id);
       break;
     case WriteKind::kDeleteRecord:
       store->DeleteRecord(op.key);
       break;
   }
+}
+
+int64_t WriteOpWireBytes(const WriteOp& op) {
+  // key (8) + kind (1) + attr id (4) + modified_at (8) + writer (4) ≈ 25,
+  // rounded with framing to 28; upserts add the value payload.
+  int64_t bytes = 28;
+  if (op.kind == WriteKind::kUpsertAttr) bytes += ValueBytes(op.attribute.value);
+  return bytes;
 }
 
 }  // namespace udr::storage

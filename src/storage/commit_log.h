@@ -32,13 +32,24 @@ enum class WriteKind {
   kDeleteRecord, ///< Delete the whole record.
 };
 
-/// One mutation of the write set.
+/// One mutation of the write set. Attribute names travel as interned AttrIds
+/// — a log entry serializes 4 bytes per name instead of the string, and
+/// replay applies by id without re-hashing the name (the packed-layout
+/// serialization path).
 struct WriteOp {
   WriteKind kind = WriteKind::kUpsertAttr;
   RecordKey key = 0;
-  std::string attr;     ///< Attribute name (kUpsertAttr / kRemoveAttr).
+  AttrId attr_id = 0;   ///< Interned attribute name (kUpsertAttr / kRemoveAttr).
   Attribute attribute;  ///< New attribute version (kUpsertAttr).
+
+  /// Pool-resolved attribute name (debugging / serialization to text).
+  std::string_view attr_name() const { return AttrNameOf(attr_id); }
 };
+
+/// Approximate serialized size of one write op as shipped by the log-based
+/// replication and migration streams: key + kind + interned name id +
+/// metadata, plus the value payload for upserts.
+int64_t WriteOpWireBytes(const WriteOp& op);
 
 /// One committed transaction.
 struct LogEntry {

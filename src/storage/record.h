@@ -1,18 +1,32 @@
 // Subscriber data records. A record is a set of named attributes, each with a
 // value plus the modification metadata (time + writing replica) needed by the
 // multi-master consistency-restoration process of the paper's §5.
+//
+// Storage layout: attributes live in a small vector of (AttrId, Attribute)
+// entries kept sorted by interned-name id — not in a std::map keyed by
+// std::string. Names are shared through the process-wide AttrPool (they
+// repeat across millions of subscribers), entries are contiguous (one
+// allocation per record instead of one red-black-tree node per attribute),
+// and lookups binary-search the packed vector after resolving the name
+// through the pool with zero per-call std::string construction. ApproxBytes()
+// models this packed footprint; MapLayoutBytes() models what the legacy
+// std::map<std::string, Attribute> layout would cost, for the bytes/
+// subscriber comparison benchmark (bench_record_layout).
 
 #ifndef UDR_STORAGE_RECORD_H_
 #define UDR_STORAGE_RECORD_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
 #include "common/time.h"
+#include "storage/attr_pool.h"
 
 namespace udr::storage {
 
@@ -29,8 +43,14 @@ using Value = std::variant<int64_t, bool, std::string, std::vector<std::string>>
 /// Renders a value for logs and examples.
 std::string ValueToString(const Value& v);
 
-/// Approximate RAM footprint of a value in bytes.
+/// Approximate serialized payload size of a value in bytes (wire/estimate
+/// model, used by log shipping and capacity planning).
 int64_t ValueBytes(const Value& v);
+
+/// Heap bytes a value holds beyond its inline variant storage (0 for
+/// integers, booleans and small-string-optimized strings). The packed
+/// layout's RAM model = inline entry size + this.
+int64_t ValueHeapBytes(const Value& v);
 
 /// True when two values are equal (same alternative and payload).
 bool ValueEquals(const Value& a, const Value& b);
@@ -49,27 +69,57 @@ struct Attribute {
   }
 };
 
+/// One packed entry: interned name id + attribute version. Entries sort by
+/// `name_id` inside a record.
+struct PackedAttr {
+  AttrId name_id = 0;
+  Attribute attr;
+
+  bool operator==(const PackedAttr& o) const {
+    return name_id == o.name_id && attr == o.attr;
+  }
+};
+
 /// A subscriber data record: named attributes plus a record version that
 /// increments on every committed write.
 class Record {
  public:
   Record() = default;
 
-  /// Sets (or overwrites) an attribute.
-  void Set(const std::string& name, Value value, MicroTime at, uint32_t writer);
+  /// Sets (or overwrites) an attribute by name (interned on first use).
+  void Set(std::string_view name, Value value, MicroTime at, uint32_t writer);
+  /// Sets (or overwrites) an attribute by interned id (the log-replay path).
+  void SetById(AttrId id, Value value, MicroTime at, uint32_t writer);
 
   /// Removes an attribute. Returns true if it existed.
-  bool Remove(const std::string& name);
+  bool Remove(std::string_view name);
+  bool RemoveById(AttrId id);
 
-  /// Attribute lookup; nullptr when absent.
-  const Attribute* Find(const std::string& name) const;
+  /// Attribute lookup; nullptr when absent. Resolves the name through the
+  /// intern pool (no per-call std::string construction), then binary-searches
+  /// the packed entries.
+  const Attribute* Find(std::string_view name) const;
+  const Attribute* FindById(AttrId id) const;
 
   /// Value lookup; empty when absent.
-  std::optional<Value> Get(const std::string& name) const;
+  std::optional<Value> Get(std::string_view name) const;
 
-  bool Has(const std::string& name) const { return attrs_.count(name) > 0; }
+  bool Has(std::string_view name) const { return Find(name) != nullptr; }
 
-  const std::map<std::string, Attribute>& attributes() const { return attrs_; }
+  /// Packed entries, sorted by interned name id.
+  const std::vector<PackedAttr>& entries() const { return attrs_; }
+  size_t attribute_count() const { return attrs_.size(); }
+
+  /// Iterates attributes as (name, attribute) pairs, resolving names through
+  /// the pool (replaces the old std::map accessor for serialization layers).
+  void ForEachAttribute(
+      const std::function<void(std::string_view, const Attribute&)>& fn) const;
+
+  /// Unpacks into the legacy map form (tests / equivalence checks).
+  std::map<std::string, Attribute> ToMap() const;
+  /// Packs a legacy map form back into a record (version 0).
+  static Record FromMap(const std::map<std::string, Attribute>& attrs);
+
   uint64_t version() const { return version_; }
   void set_version(uint64_t v) { version_ = v; }
   void bump_version() { ++version_; }
@@ -77,15 +127,26 @@ class Record {
   /// Most recent attribute modification time (0 for empty records).
   MicroTime LastModified() const;
 
-  /// Approximate RAM footprint in bytes (used for SE capacity accounting).
+  /// Approximate RAM footprint in bytes of the packed layout (used for SE
+  /// capacity accounting). Interned names are charged to the shared pool,
+  /// not to individual records.
   int64_t ApproxBytes() const;
+
+  /// What the legacy std::map<std::string, Attribute> layout would cost for
+  /// this record's content: per-attribute red-black-tree node + allocation
+  /// header + name string object (+ its heap spill) on top of the same
+  /// attribute payload. The baseline for bench_record_layout.
+  int64_t MapLayoutBytes() const;
 
   bool operator==(const Record& o) const {
     return attrs_ == o.attrs_;  // Version excluded: content equality.
   }
 
  private:
-  std::map<std::string, Attribute> attrs_;
+  /// First entry with name_id >= id (insertion/search position).
+  size_t LowerBound(AttrId id) const;
+
+  std::vector<PackedAttr> attrs_;  ///< Sorted by name_id.
   uint64_t version_ = 0;
 };
 

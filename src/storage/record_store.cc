@@ -18,23 +18,41 @@ bool RecordStore::MutateRecord(RecordKey key,
   return true;
 }
 
-void RecordStore::SetAttribute(RecordKey key, const std::string& name,
+void RecordStore::SetAttribute(RecordKey key, std::string_view name,
                                Value value, MicroTime at, uint32_t writer) {
+  SetAttribute(key, AttrPool::Global().Intern(name), std::move(value), at,
+               writer);
+}
+
+void RecordStore::SetAttribute(RecordKey key, AttrId attr_id, Value value,
+                               MicroTime at, uint32_t writer) {
   auto [it, inserted] = records_.try_emplace(key);
   Record& rec = it->second;
   if (!inserted) AccountRemove(rec);
-  rec.Set(name, std::move(value), at, writer);
+  rec.SetById(attr_id, std::move(value), at, writer);
   rec.bump_version();
   AccountAdd(rec);
 }
 
-void RecordStore::RemoveAttribute(RecordKey key, const std::string& name) {
+void RecordStore::RemoveAttribute(RecordKey key, std::string_view name) {
+  AttrId id = AttrPool::Global().Lookup(name);
+  if (id != kInvalidAttrId) RemoveAttribute(key, id);
+}
+
+void RecordStore::RemoveAttribute(RecordKey key, AttrId attr_id) {
   auto it = records_.find(key);
   if (it == records_.end()) return;
   AccountRemove(it->second);
-  it->second.Remove(name);
+  it->second.RemoveById(attr_id);
   it->second.bump_version();
   AccountAdd(it->second);
+}
+
+const Attribute* RecordStore::FindAttribute(RecordKey key,
+                                            std::string_view name) const {
+  auto it = records_.find(key);
+  if (it == records_.end()) return nullptr;
+  return it->second.Find(name);
 }
 
 void RecordStore::PutRecord(RecordKey key, Record record) {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -28,12 +29,22 @@ class RecordStore {
 
   bool Contains(RecordKey key) const { return records_.count(key) > 0; }
 
-  /// Sets one attribute, creating the record if needed.
-  void SetAttribute(RecordKey key, const std::string& name, Value value,
+  /// Sets one attribute, creating the record if needed. The name is interned
+  /// on first use; the AttrId overload is the log-replay fast path.
+  void SetAttribute(RecordKey key, std::string_view name, Value value,
                     MicroTime at, uint32_t writer);
+  void SetAttribute(RecordKey key, AttrId attr_id, Value value, MicroTime at,
+                    uint32_t writer);
 
   /// Removes one attribute; removes nothing if absent.
-  void RemoveAttribute(RecordKey key, const std::string& name);
+  void RemoveAttribute(RecordKey key, std::string_view name);
+  void RemoveAttribute(RecordKey key, AttrId attr_id);
+
+  /// Single-attribute read fast path: record hash lookup + packed binary
+  /// search, resolving the name through the intern pool — no per-call
+  /// std::string construction anywhere. nullptr when record or attribute is
+  /// absent.
+  const Attribute* FindAttribute(RecordKey key, std::string_view name) const;
 
   /// Inserts or replaces a whole record.
   void PutRecord(RecordKey key, Record record);

@@ -52,7 +52,7 @@ Status Transaction::SetAttribute(RecordKey key, const std::string& name,
   WriteOp op;
   op.kind = WriteKind::kUpsertAttr;
   op.key = key;
-  op.attr = name;
+  op.attr_id = InternAttr(name);
   op.attribute.value = std::move(value);
   writes_.push_back(std::move(op));
   return Status::Ok();
@@ -63,7 +63,7 @@ Status Transaction::RemoveAttribute(RecordKey key, const std::string& name) {
   WriteOp op;
   op.kind = WriteKind::kRemoveAttr;
   op.key = key;
-  op.attr = name;
+  op.attr_id = InternAttr(name);
   writes_.push_back(std::move(op));
   return Status::Ok();
 }
@@ -149,12 +149,12 @@ void TransactionManager::ApplyOpToRecord(Record* rec, bool* exists,
                                          const WriteOp& op) {
   switch (op.kind) {
     case WriteKind::kUpsertAttr:
-      rec->Set(op.attr, op.attribute.value, op.attribute.modified_at,
+      rec->SetById(op.attr_id, op.attribute.value, op.attribute.modified_at,
                op.attribute.writer);
       *exists = true;
       break;
     case WriteKind::kRemoveAttr:
-      if (*exists) rec->Remove(op.attr);
+      if (*exists) rec->RemoveById(op.attr_id);
       break;
     case WriteKind::kDeleteRecord:
       *rec = Record();

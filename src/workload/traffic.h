@@ -46,6 +46,17 @@ struct TrafficOptions {
   /// additionally folded into TrafficReport::fe_during_migration and the
   /// `migration.foreground_latency_during` metrics histogram.
   bool pump_migration = false;
+  /// Sharded multi-threaded execution mode (RunShardedTraffic, src/exec/):
+  /// split the subscriber space over this many shards, each a complete
+  /// data-path slice on its own worker thread behind an SPSC handoff ring.
+  /// 1 = single shard (still threaded, for apples-to-apples scaling runs).
+  int num_shards = 1;
+  /// Total operations the sharded driver submits across all shards.
+  int64_t sharded_total_ops = 20000;
+  /// Fraction of sharded ops that are writes (seq-stamping modifies).
+  double sharded_write_fraction = 0.3;
+  /// Ops the driver accumulates per shard before handing off one batch.
+  int sharded_batch_ops = 8;
 };
 
 /// Aggregated statistics for one traffic class.

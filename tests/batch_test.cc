@@ -169,13 +169,14 @@ TEST(GroupWriteTest, CommitsOneLogEntryPerTransactionInOneWindow) {
   // Per-op baseline for the same shape of transaction.
   replication::WriteResult single = rs->Write(
       0, {storage::WriteOp{storage::WriteKind::kUpsertAttr, loc->key,
-                           "sqn", storage::Attribute{int64_t{1}, 0, 0}}});
+                           storage::InternAttr("sqn"),
+                           storage::Attribute{int64_t{1}, 0, 0}}});
   ASSERT_TRUE(single.status.ok());
 
   std::vector<std::vector<storage::WriteOp>> txns;
   for (int64_t i = 2; i <= 9; ++i) {
     txns.push_back({storage::WriteOp{storage::WriteKind::kUpsertAttr,
-                                     loc->key, "sqn",
+                                     loc->key, storage::InternAttr("sqn"),
                                      storage::Attribute{i, 0, 0}}});
   }
   replication::GroupWriteResult group = rs->WriteBatch(0, std::move(txns));

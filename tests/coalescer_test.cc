@@ -69,11 +69,12 @@ void ExpectSamePayload(const ldap::LdapResult& a, const ldap::LdapResult& b) {
   for (size_t i = 0; i < a.entries.size(); ++i) {
     const storage::Record& ra = a.entries[i].record;
     const storage::Record& rb = b.entries[i].record;
-    ASSERT_EQ(ra.attributes().size(), rb.attributes().size());
-    for (const auto& [name, attr] : ra.attributes()) {
+    ASSERT_EQ(ra.entries().size(), rb.entries().size());
+    for (const storage::PackedAttr& e : ra.entries()) {
+      std::string_view name = storage::AttrNameOf(e.name_id);
       auto v = rb.Get(name);
       ASSERT_TRUE(v.has_value()) << name;
-      EXPECT_EQ(storage::ValueToString(attr.value),
+      EXPECT_EQ(storage::ValueToString(e.attr.value),
                 storage::ValueToString(*v));
     }
   }

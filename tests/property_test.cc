@@ -337,7 +337,7 @@ TEST_P(CrashRecoveryProperty, RecoveredStateEqualsDurablePrefixReplay) {
         storage::WriteOp op;
         op.kind = storage::WriteKind::kUpsertAttr;
         op.key = key;
-        op.attr = "v";
+        op.attr_id = storage::InternAttr("v");
         op.attribute = {v, clock.Now(), 0};
         ops.push_back(op);
       }

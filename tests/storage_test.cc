@@ -4,7 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "common/rng.h"
+#include "replication/replica_set.h"
+#include "replication/write_builder.h"
 #include "sim/clock.h"
+#include "sim/network.h"
 #include "storage/commit_log.h"
 #include "storage/record.h"
 #include "storage/record_store.h"
@@ -165,7 +171,7 @@ WriteOp Upsert(RecordKey key, const std::string& attr, Value v, MicroTime t) {
   WriteOp op;
   op.kind = WriteKind::kUpsertAttr;
   op.key = key;
-  op.attr = attr;
+  op.attr_id = InternAttr(attr);
   op.attribute = {std::move(v), t, 0};
   return op;
 }
@@ -494,6 +500,151 @@ TEST(StorageElementTest, SubscriberCapacityArithmetic) {
   StorageElement se(cfg, &clock);
   // 200 GB / 100 KB per average profile = 2e6 subscribers (paper §3.5).
   EXPECT_EQ(se.SubscriberCapacity(100 * 1000), 2'000'000);
+}
+
+// ---------------------------------------------------------------------------
+// Packed-layout properties: pack/unpack round trips and byte accounting
+// ---------------------------------------------------------------------------
+
+/// Random value spanning every alternative, with string sizes straddling the
+/// SSO boundary (the interesting edge of the heap-byte model).
+Value RandomValue(Rng& rng) {
+  switch (rng.Uniform(4)) {
+    case 0:
+      return Value(static_cast<int64_t>(rng.Next()));
+    case 1:
+      return Value(rng.Uniform(2) == 0);
+    case 2:
+      return Value(std::string(rng.Uniform(40), 'a' + rng.Uniform(26)));
+    default: {
+      std::vector<std::string> items(rng.Uniform(4) + 1);
+      for (auto& s : items) s.assign(rng.Uniform(30), 'x');
+      return Value(items);
+    }
+  }
+}
+
+/// Random record over a bounded attribute universe (collisions on purpose:
+/// overwrites exercise the in-place update path).
+Record RandomRecord(Rng& rng) {
+  Record r;
+  const uint64_t attrs = rng.Uniform(12) + 1;
+  for (uint64_t a = 0; a < attrs; ++a) {
+    const std::string name = "attr-" + std::to_string(rng.Uniform(16));
+    r.Set(name, RandomValue(rng), static_cast<MicroTime>(rng.Uniform(1u << 30)),
+          static_cast<uint32_t>(rng.Uniform(4)));
+  }
+  return r;
+}
+
+TEST(PackedLayoutPropertyTest, MapRoundTripPreservesEveryRecord) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    Record original = RandomRecord(rng);
+    Record round = Record::FromMap(original.ToMap());
+    EXPECT_EQ(original, round) << "trial " << trial;
+    // The unpacked view resolves the same names to the same attributes.
+    for (const auto& [name, attr] : original.ToMap()) {
+      const Attribute* found = round.Find(name);
+      ASSERT_NE(found, nullptr) << name;
+      EXPECT_EQ(*found, attr);
+    }
+    // Entries stay strictly sorted by interned id (binary-search invariant).
+    const auto& entries = round.entries();
+    for (size_t i = 1; i < entries.size(); ++i) {
+      EXPECT_LT(entries[i - 1].name_id, entries[i].name_id);
+    }
+  }
+}
+
+TEST(PackedLayoutPropertyTest, ByteAccountingSurvivesGrowShrink) {
+  Rng rng(7777);
+  RecordStore store;
+  const auto recompute = [&store] {
+    int64_t total = 0;
+    store.ForEach([&total](RecordKey, const Record& r) {
+      total += r.ApproxBytes();
+    });
+    return total;
+  };
+  for (int step = 0; step < 3000; ++step) {
+    const RecordKey key = rng.Uniform(20) + 1;
+    const std::string name = "attr-" + std::to_string(rng.Uniform(16));
+    switch (rng.Uniform(5)) {
+      case 0:
+      case 1:  // Grow (or overwrite with a differently-sized value).
+        store.SetAttribute(key, name, RandomValue(rng),
+                           static_cast<MicroTime>(step), 0);
+        break;
+      case 2:  // Shrink.
+        store.RemoveAttribute(key, name);
+        break;
+      case 3:  // Arbitrary in-place mutation through the accounting guard.
+        store.MutateRecord(key, [&](Record& r) {
+          r.Set(name, RandomValue(rng), static_cast<MicroTime>(step), 1);
+          r.Remove("attr-" + std::to_string(rng.Uniform(16)));
+        });
+        break;
+      default:
+        if (rng.Uniform(10) == 0) store.DeleteRecord(key);
+        break;
+    }
+    if (step % 100 == 0) {
+      EXPECT_EQ(store.ApproxBytes(), recompute()) << "step " << step;
+    }
+  }
+  EXPECT_EQ(store.ApproxBytes(), recompute());
+}
+
+TEST(PackedLayoutPropertyTest, RecordsSurviveMigrationStreamChunks) {
+  // Packed records, serialized as interned-id WriteOps through the commit
+  // log, must reassemble identically on the far side of a chunked
+  // MigrationStream (the background-migration wire path).
+  sim::SimClock clock;
+  auto network =
+      std::make_unique<sim::Network>(sim::Topology(4, sim::LatencyConfig()),
+                                     &clock);
+  std::vector<std::unique_ptr<StorageElement>> ses;
+  for (uint32_t s = 0; s < 4; ++s) {
+    StorageElementConfig cfg;
+    cfg.name = "se-" + std::to_string(s);
+    cfg.site = s;
+    ses.push_back(std::make_unique<StorageElement>(cfg, &clock, s));
+  }
+  replication::ReplicaSet rs(
+      replication::ReplicaSetConfig(),
+      {ses[0].get(), ses[1].get(), ses[2].get()}, network.get());
+
+  Rng rng(31337);
+  std::map<RecordKey, Record> originals;
+  for (RecordKey key = 1; key <= 25; ++key) {
+    Record r = RandomRecord(rng);
+    replication::WriteBuilder wb;
+    for (const auto& e : r.entries()) {
+      wb.Set(key, e.name_id, e.attr.value);
+    }
+    ASSERT_TRUE(rs.Write(0, std::move(wb).Build()).status.ok());
+    originals[key] = *rs.replica_store(rs.master_id()).Find(key);
+  }
+
+  auto stream = rs.BeginPrimaryMigration(ses[3].get());
+  ASSERT_TRUE(stream.ok());
+  int chunks = 0;
+  while (!stream.value().copy_done()) {
+    auto shipped = rs.ShipMigrationChunk(&stream.value(), 512);
+    ASSERT_TRUE(shipped.ok());
+    ++chunks;
+    ASSERT_LT(chunks, 100000);
+  }
+  EXPECT_GT(chunks, 1) << "chunk size too large to exercise chunking";
+  ASSERT_TRUE(rs.CompleteMigration(&stream.value()).ok());
+
+  const RecordStore& migrated = ses[3]->store();
+  for (const auto& [key, original] : originals) {
+    const Record* got = migrated.Find(key);
+    ASSERT_NE(got, nullptr) << "record " << key << " lost in migration";
+    EXPECT_EQ(*got, original) << "record " << key;
+  }
 }
 
 }  // namespace
