@@ -1,0 +1,269 @@
+// Heat-tier benchmark (self-checking, plain main): batched kNearest reads
+// under a Zipf-0.99 subscriber draw, three ways —
+//
+//   row 1  uniform baseline        theta 0,    heat tier off
+//   row 2  unmitigated skew        theta 0.99, heat tier off
+//   row 3  heat-mitigated skew     theta 0.99, PoA cache + runtime split on
+//
+// The skew penalty in this model is real queueing: RouteBatch serializes the
+// ops of one partition group through that replica set's service slots, so a
+// hot partition's group latency is the SUM of its ops' service times. The
+// heat tier attacks it twice: cache hits leave the group entirely (PoA-local
+// cost), and the runtime split controller halves the hot partition's ring
+// arcs so the residual misses spread over two replica sets.
+//
+//   S1  read p99/p50 per row, cache hit rate, runtime splits/merges.
+//   S2  gates: mitigated skew p99 <= 1.5x uniform; hit rate >= 70% at
+//       Zipf 0.99; >= 1 runtime split and >= 1 merge; zero acked-write
+//       loss; zero failed reads; zero stale cache serves.
+//
+// Emits BENCH_heat_tier.json (to $UDR_BENCH_HEAT_TIER_JSON, or
+// ./BENCH_heat_tier.json).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "routing/batch.h"
+#include "routing/router.h"
+#include "workload/testbed.h"
+#include "workload/zipf.h"
+
+using namespace udr;
+using routing::BatchRequest;
+using routing::BatchResult;
+using routing::Mutation;
+using routing::Operation;
+using routing::OpOutcome;
+
+namespace {
+
+constexpr int64_t kSubscribers = 2000;
+constexpr int kBatches = 4000;
+constexpr int kOpsPerBatch = 8;
+
+struct RunStats {
+  std::string label;
+  double theta = 0.0;
+  bool heat = false;
+  Histogram read_batch_latency;  ///< Per-batch modelled latency, µs.
+  int64_t reads = 0;
+  int64_t read_failures = 0;
+  int64_t cache_hits = 0;
+  int64_t stale_cache_serves = 0;  ///< from_cache && stale: policy violation.
+  int64_t writes = 0;
+  int64_t write_failures = 0;  ///< Acked-write loss (any non-ok write).
+  int splits = 0;
+  int merges = 0;
+
+  double hit_rate() const {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(reads);
+  }
+};
+
+RunStats RunOne(const std::string& label, double theta, bool heat) {
+  workload::TestbedOptions o;
+  o.sites = 3;
+  o.subscribers = kSubscribers;
+  o.udr.placement = routing::PlacementKind::kHash;
+  if (heat) {
+    o.udr.heat_tracking = true;
+    o.udr.heat_top_k = 1024;  // Sketch must span the cache-worthy head.
+    o.udr.poa_cache_bytes = 1024 * 1024;
+    o.udr.poa_cache_admit_min = 2;
+    o.udr.heat_halflife_us = Millis(50);
+    o.udr.heat_split_threshold = 150.0;
+    o.udr.heat_merge_threshold = 10.0;
+    o.udr.heat_max_splits = 4;
+  }
+  workload::Testbed bed(o);
+  auto& udr = bed.udr();
+  bed.clock().Advance(Seconds(120));
+  udr.CatchUpAllPartitions();
+
+  workload::ZipfGenerator pick(kSubscribers, theta);
+  Rng rng(7);
+  RunStats stats;
+  stats.label = label;
+  stats.theta = theta;
+  stats.heat = heat;
+
+  // Phase A: skewed read traffic against one PoA (the cache is PoA-local),
+  // with a write every 8th batch to keep the invalidation path honest.
+  for (int iter = 0; iter < kBatches; ++iter) {
+    bed.clock().Advance(Micros(500));
+
+    if (iter % 8 == 7) {
+      BatchRequest wb;
+      wb.Add(Operation::Write(
+          bed.factory().Make(pick.Next(rng)).ImsiId(),
+          {{Mutation::Kind::kSet, "bench-heat",
+            std::string("w") + std::to_string(iter)}}));
+      BatchResult wr = udr.router().RouteBatch(wb, 0);
+      ++stats.writes;
+      if (!wr.outcomes[0].ok()) ++stats.write_failures;
+    }
+
+    BatchRequest b;
+    for (int k = 0; k < kOpsPerBatch; ++k) {
+      b.Add(Operation::ReadRecord(bed.factory().Make(pick.Next(rng)).ImsiId(),
+                                  replication::ReadPreference::kNearest));
+    }
+    BatchResult r = udr.router().RouteBatch(b, 0);
+    stats.read_batch_latency.Record(r.latency);
+    stats.reads += kOpsPerBatch;
+    stats.cache_hits += r.cache_hits;
+    for (const OpOutcome& out : r.outcomes) {
+      // A stale NotFound is a lagging slave that has not applied the write
+      // yet — replica-set policy, not loss. A FRESH failure is loss.
+      if (!out.ok() && !out.stale) ++stats.read_failures;
+      if (out.from_cache && out.stale) ++stats.stale_cache_serves;
+    }
+    const int splits_before = udr.runtime_splits();
+    const int merges_before = udr.runtime_merges();
+    udr.PumpEvents();  // Drives the split/merge controller.
+    if (udr.runtime_splits() != splits_before ||
+        udr.runtime_merges() != merges_before) {
+      // A split/merge just bulk-moved records (unthrottled drain): give the
+      // destination SEs their settle window so steady-state skew latency —
+      // what this bench gates on — is not conflated with the one-off
+      // migration backlog (bench_migration owns that story).
+      bed.clock().Advance(Millis(100));
+      udr.CatchUpAllPartitions();
+    }
+  }
+
+  // Phase B: traffic stops; idle sim-time decays the heat so cooled split
+  // siblings merge back and retire.
+  for (int i = 0; i < 200; ++i) {
+    bed.clock().Advance(Millis(50));
+    udr.PumpEvents();
+  }
+
+  stats.splits = udr.runtime_splits();
+  stats.merges = udr.runtime_merges();
+  return stats;
+}
+
+std::string JsonPath() {
+  const char* env = std::getenv("UDR_BENCH_HEAT_TIER_JSON");
+  return env != nullptr && env[0] != '\0' ? env : "BENCH_heat_tier.json";
+}
+
+void WriteJson(const std::vector<RunStats>& rows, double p99_ratio_mitigated,
+               double p99_ratio_raw, bool pass) {
+  std::string path = JsonPath();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_heat_tier: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_heat_tier\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RunStats& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"label\": \"%s\", \"zipf_theta\": %.2f, \"heat_tier\": %s, "
+        "\"read_p50_us\": %lld, \"read_p99_us\": %lld, \"hit_rate\": %.4f, "
+        "\"splits\": %d, \"merges\": %d, \"read_failures\": %lld, "
+        "\"write_failures\": %lld, \"stale_cache_serves\": %lld}%s\n",
+        r.label.c_str(), r.theta, r.heat ? "true" : "false",
+        static_cast<long long>(r.read_batch_latency.P50()),
+        static_cast<long long>(r.read_batch_latency.P99()), r.hit_rate(),
+        r.splits, r.merges, static_cast<long long>(r.read_failures),
+        static_cast<long long>(r.write_failures),
+        static_cast<long long>(r.stale_cache_serves),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"p99_skew_over_uniform_unmitigated\": %.2f,\n",
+               p99_ratio_raw);
+  std::fprintf(f, "  \"p99_skew_over_uniform_mitigated\": %.2f,\n",
+               p99_ratio_mitigated);
+  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+  std::fclose(f);
+  std::printf("bench_heat_tier: wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::vector<RunStats> rows;
+  std::printf("bench_heat_tier: uniform baseline...\n");
+  rows.push_back(RunOne("uniform", 0.0, false));
+  std::printf("bench_heat_tier: unmitigated zipf-0.99...\n");
+  rows.push_back(RunOne("skew-raw", 0.99, false));
+  std::printf("bench_heat_tier: heat-mitigated zipf-0.99...\n");
+  rows.push_back(RunOne("skew-heat", 0.99, true));
+
+  const RunStats& uniform = rows[0];
+  const RunStats& raw = rows[1];
+  const RunStats& heat = rows[2];
+  const double base_p99 =
+      static_cast<double>(uniform.read_batch_latency.P99());
+  const double ratio_raw =
+      base_p99 > 0 ? raw.read_batch_latency.P99() / base_p99 : 0.0;
+  const double ratio_heat =
+      base_p99 > 0 ? heat.read_batch_latency.P99() / base_p99 : 0.0;
+
+  Table t1("S1: batched kNearest reads, 2000 subscribers, 8 ops/batch "
+           "(latency per batch)",
+           {"row", "theta", "p50 us", "p99 us", "p99/uniform", "hit rate",
+            "splits", "merges"});
+  for (const RunStats& r : rows) {
+    const double ratio =
+        base_p99 > 0 ? r.read_batch_latency.P99() / base_p99 : 0.0;
+    t1.AddRow({r.label, Table::Dbl(r.theta, 2),
+               Table::Num(r.read_batch_latency.P50()),
+               Table::Num(r.read_batch_latency.P99()),
+               Table::Dbl(ratio, 2) + "x", Table::Dbl(r.hit_rate() * 100, 1) + "%",
+               Table::Num(r.splits), Table::Num(r.merges)});
+  }
+  t1.Print();
+  std::printf("\n");
+
+  int64_t read_failures = 0, write_failures = 0, stale_serves = 0;
+  for (const RunStats& r : rows) {
+    read_failures += r.read_failures;
+    write_failures += r.write_failures;
+    stale_serves += r.stale_cache_serves;
+  }
+
+  const bool p99_ok = ratio_heat <= 1.5;
+  const bool hit_ok = heat.hit_rate() >= 0.70;
+  const bool split_ok = heat.splits >= 1;
+  const bool merge_ok = heat.merges >= 1;
+  const bool loss_ok = write_failures == 0;
+  const bool reads_ok = read_failures == 0;
+  const bool stale_ok = stale_serves == 0;
+  const bool pass = p99_ok && hit_ok && split_ok && merge_ok && loss_ok &&
+                    reads_ok && stale_ok;
+
+  Table t2("S2: self-check (any failed row breaks the CI smoke)",
+           {"check", "value", "target", "verdict"});
+  t2.AddRow({"mitigated skew p99 / uniform p99", Table::Dbl(ratio_heat, 2) + "x",
+             "<= 1.5x", p99_ok ? "PASS" : "FAIL"});
+  t2.AddRow({"cache hit rate @ zipf 0.99",
+             Table::Dbl(heat.hit_rate() * 100, 1) + "%", ">= 70%",
+             hit_ok ? "PASS" : "FAIL"});
+  t2.AddRow({"runtime splits", Table::Num(heat.splits), ">= 1",
+             split_ok ? "PASS" : "FAIL"});
+  t2.AddRow({"runtime merges", Table::Num(heat.merges), ">= 1",
+             merge_ok ? "PASS" : "FAIL"});
+  t2.AddRow({"acked-write loss", Table::Num(write_failures), "0",
+             loss_ok ? "PASS" : "FAIL"});
+  t2.AddRow({"failed reads", Table::Num(read_failures), "0",
+             reads_ok ? "PASS" : "FAIL"});
+  t2.AddRow({"stale cache serves", Table::Num(stale_serves), "0",
+             stale_ok ? "PASS" : "FAIL"});
+  t2.Print();
+
+  WriteJson(rows, ratio_heat, ratio_raw, pass);
+  return pass ? 0 : 1;
+}

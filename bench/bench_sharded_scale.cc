@@ -98,6 +98,30 @@ void WriteJson(const std::vector<ScaleRow>& rows, double speedup4, bool pass) {
                  static_cast<long long>(r.seq_mismatches),
                  i + 1 < rows.size() ? "," : "");
   }
+  // Basis-tagged throughput rows: the CPU-time basis is machine-portable
+  // (per-shard service rate, cores-per-shard assumed), the wall basis is what
+  // this host actually sustained while time-sharing. Trajectory comparisons
+  // across machines must read the basis, not guess it.
+  const ScaleRow& base = rows.front();
+  std::fprintf(f, "  ],\n  \"throughput\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"shards\": %d, \"basis\": \"cpu\", \"ops_per_sec\": "
+                 "%.0f, \"speedup\": %.2f},\n",
+                 r.shards, r.aggregate_ops_per_sec,
+                 base.aggregate_ops_per_sec > 0
+                     ? r.aggregate_ops_per_sec / base.aggregate_ops_per_sec
+                     : 0.0);
+    std::fprintf(f,
+                 "    {\"shards\": %d, \"basis\": \"wall\", \"ops_per_sec\": "
+                 "%.0f, \"speedup\": %.2f}%s\n",
+                 r.shards, r.wall_ops_per_sec,
+                 base.wall_ops_per_sec > 0
+                     ? r.wall_ops_per_sec / base.wall_ops_per_sec
+                     : 0.0,
+                 i + 1 < rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ],\n  \"aggregate_speedup_at_4_shards\": %.2f,\n",
                speedup4);
   std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");

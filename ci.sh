@@ -24,8 +24,8 @@ echo "== Release: benchmark smoke (1 iteration each) =="
 # The loop globs every bench target, but the self-checking ones the
 # acceptance gates ride on must exist (a glob would silently skip a bench
 # that fell out of the build).
-for required in bench_batch_pipeline bench_coalescer bench_migration \
-                bench_record_layout bench_sharded_scale; do
+for required in bench_batch_pipeline bench_coalescer bench_heat_tier \
+                bench_migration bench_record_layout bench_sharded_scale; do
   if [[ ! -x "build-release/bench/${required}" ]]; then
     echo "SMOKE FAILED: required benchmark ${required} was not built"
     exit 1
@@ -36,8 +36,9 @@ done
 export UDR_BENCH_JSON_PATH="${PWD}/build-release/BENCH_migration.json"
 export UDR_BENCH_RECORD_LAYOUT_JSON="${PWD}/build-release/BENCH_record_layout.json"
 export UDR_BENCH_SHARDED_SCALE_JSON="${PWD}/build-release/BENCH_sharded_scale.json"
+export UDR_BENCH_HEAT_TIER_JSON="${PWD}/build-release/BENCH_heat_tier.json"
 rm -f "${UDR_BENCH_JSON_PATH}" "${UDR_BENCH_RECORD_LAYOUT_JSON}" \
-      "${UDR_BENCH_SHARDED_SCALE_JSON}"
+      "${UDR_BENCH_SHARDED_SCALE_JSON}" "${UDR_BENCH_HEAT_TIER_JSON}"
 bench_failed=0
 for bench in build-release/bench/bench_*; do
   [[ -x "${bench}" ]] || continue
@@ -61,7 +62,7 @@ if [[ "${bench_failed}" != 0 ]]; then
   exit 1
 fi
 for json in "${UDR_BENCH_JSON_PATH}" "${UDR_BENCH_RECORD_LAYOUT_JSON}" \
-            "${UDR_BENCH_SHARDED_SCALE_JSON}"; do
+            "${UDR_BENCH_SHARDED_SCALE_JSON}" "${UDR_BENCH_HEAT_TIER_JSON}"; do
   if [[ ! -s "${json}" ]]; then
     echo "SMOKE FAILED: benchmark did not emit ${json}"
     exit 1

@@ -11,27 +11,30 @@ namespace udr::exec {
 
 namespace {
 
-// splitmix64 — spreads sequential subscriber indices uniformly over shards.
-uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
 constexpr char kSeqAttr[] = "shard-seq";
 
 }  // namespace
 
+ShardSlicer::ShardSlicer(int num_shards)
+    : num_shards_(num_shards < 1 ? 1 : num_shards), factory_(0) {
+  // IMSIs are seed-independent, so any factory agrees with the workload's.
+  ring_.AddNodes(0, static_cast<uint32_t>(num_shards_));
+}
+
+int ShardSlicer::ShardOf(uint64_t subscriber) const {
+  if (num_shards_ <= 1) return 0;
+  const location::Identity id{location::IdentityType::kImsi,
+                              factory_.ImsiOf(subscriber)};
+  return static_cast<int>(ring_.NodeOfHash(location::HashIdentity(id)));
+}
+
 int Shard::ShardOfSubscriber(uint64_t subscriber, int num_shards) {
-  if (num_shards <= 1) return 0;
-  return static_cast<int>(Mix64(subscriber) %
-                          static_cast<uint64_t>(num_shards));
+  return ShardSlicer(num_shards).ShardOf(subscriber);
 }
 
 Shard::Shard(int index, int num_shards, const ShardOptions& opts)
-    : index_(index), num_shards_(num_shards), opts_(opts),
-      factory_(opts.seed) {}
+    : index_(index), num_shards_(num_shards), slicer_(num_shards),
+      opts_(opts), factory_(opts.seed) {}
 
 Shard::~Shard() = default;
 
@@ -60,7 +63,7 @@ void Shard::Provision() {
                                                  &udr_->metrics());
 
   for (uint64_t sub = 0; sub < opts_.total_subscribers; ++sub) {
-    if (ShardOfSubscriber(sub, num_shards_) != index_) continue;
+    if (slicer_.ShardOf(sub) != index_) continue;
     auto spec = factory_.MakeSpec(sub);
     auto outcome = udr_->CreateSubscriber(spec, 0);
     if (outcome.ok()) ++provisioned_;

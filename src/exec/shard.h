@@ -21,6 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash_ring.h"
+#include "location/identity.h"
 #include "routing/coalescer.h"
 #include "sim/clock.h"
 #include "sim/network.h"
@@ -28,6 +30,28 @@
 #include "udr/udr_nf.h"
 
 namespace udr::exec {
+
+/// Maps subscribers to shards the way the routing layer maps identities to
+/// partitions: shards occupy a consistent-hash ring (common::HashRing,
+/// vnodes per shard) and a subscriber lands on the shard owning the ring arc
+/// of its IMSI's identity hash — the same location::HashIdentity that keys
+/// records under hash placement. A shard's subscriber set is therefore a
+/// genuine PartitionMap-style ring slice (contiguous arcs, stable under
+/// shard-count changes the way ring membership changes are), not an
+/// unrelated splitmix64 of the raw index. IMSIs are seed-independent, so the
+/// slicer needs no workload seed to agree with every factory.
+class ShardSlicer {
+ public:
+  explicit ShardSlicer(int num_shards);
+
+  int ShardOf(uint64_t subscriber) const;
+  int num_shards() const { return num_shards_; }
+
+ private:
+  int num_shards_;
+  HashRing ring_;
+  telecom::SubscriberFactory factory_;
+};
 
 /// Per-shard deployment knobs.
 struct ShardOptions {
@@ -71,7 +95,8 @@ struct ShardStats {
 
 class Shard {
  public:
-  /// Owning shard of a subscriber (splitmix64 of the index, mod shards).
+  /// Owning shard of a subscriber (ring-slice mapping; builds a throwaway
+  /// ShardSlicer — hot paths hold a long-lived slicer instead).
   static int ShardOfSubscriber(uint64_t subscriber, int num_shards);
 
   Shard(int index, int num_shards, const ShardOptions& opts);
@@ -105,6 +130,7 @@ class Shard {
 
   int index_;
   int num_shards_;
+  ShardSlicer slicer_;
   ShardOptions opts_;
   sim::SimClock clock_;
   std::unique_ptr<sim::Network> network_;

@@ -22,6 +22,7 @@ int64_t ThreadCpuNowNs() {
 
 ShardRuntime::ShardRuntime(const ShardRuntimeOptions& opts) : opts_(opts) {
   if (opts_.num_shards < 1) opts_.num_shards = 1;
+  slicer_ = std::make_unique<ShardSlicer>(opts_.num_shards);
   queues_.reserve(opts_.num_shards);
   shards_.resize(opts_.num_shards);
   busy_ns_.assign(opts_.num_shards, 0);

@@ -89,10 +89,9 @@ class ShardRuntime {
   /// only from the driver thread. Spins (with yield) while the ring is full.
   void Submit(ShardBatch batch, int shard);
 
-  /// Owning shard of a subscriber under this runtime's shard count.
-  int ShardOf(uint64_t subscriber) const {
-    return Shard::ShardOfSubscriber(subscriber, opts_.num_shards);
-  }
+  /// Owning shard of a subscriber under this runtime's shard count (served
+  /// by a long-lived ring slicer — the driver calls this per op).
+  int ShardOf(uint64_t subscriber) const { return slicer_->ShardOf(subscriber); }
 
   /// Signals end-of-stream, joins the workers (each drains its ring and its
   /// dispatch window first) and assembles the report. Idempotent.
@@ -111,6 +110,7 @@ class ShardRuntime {
   void WorkerLoop(int index);
 
   ShardRuntimeOptions opts_;
+  std::unique_ptr<ShardSlicer> slicer_;  ///< Built once num_shards is final.
   std::vector<std::unique_ptr<SpscQueue<ShardBatch>>> queues_;
   std::vector<std::unique_ptr<Shard>> shards_;  ///< Slot i filled by worker i.
   std::vector<std::thread> workers_;

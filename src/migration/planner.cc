@@ -33,6 +33,37 @@ MigrationTaskSpec PrimaryMoveSpec(const routing::PartitionMap& map,
   return spec;
 }
 
+/// Builds one subscriber re-home spec, estimating the transfer from the
+/// master copy of the record being moved.
+MigrationTaskSpec RehomeSpec(const routing::PartitionMap& map,
+                             const Identity& id,
+                             const location::LocationEntry& entry,
+                             uint32_t owner) {
+  MigrationTaskSpec spec;
+  spec.kind = TaskKind::kRehome;
+  spec.identity = id;
+  spec.from_partition = entry.partition;
+  spec.to_partition = owner;
+  const ReplicaSet* rs = map.partition(entry.partition);
+  const storage::Record* rec =
+      rs->replica_store(rs->master_id()).Find(entry.key);
+  spec.estimated_bytes = rec != nullptr ? rec->ApproxBytes() : 64;
+  return spec;
+}
+
+/// Deterministic task order: the router's binding table iterates in hash
+/// order, so every re-home planner sorts by identity before returning.
+void FinalizeRehomePlan(MigrationPlan* plan) {
+  std::sort(plan->tasks.begin(), plan->tasks.end(),
+            [](const MigrationTaskSpec& a, const MigrationTaskSpec& b) {
+              return a.identity < b.identity;
+            });
+  std::sort(plan->already_homed.begin(), plan->already_homed.end());
+  for (const MigrationTaskSpec& spec : plan->tasks) {
+    plan->estimated_bytes += spec.estimated_bytes;
+  }
+}
+
 }  // namespace
 
 MigrationPlan MigrationPlanner::PlanRebalance(const routing::PartitionMap& map) {
@@ -56,6 +87,7 @@ MigrationPlan MigrationPlanner::PlanDecommission(
   std::vector<int64_t> counts(map.se_count(), 0);
   std::vector<uint32_t> draining;
   for (uint32_t p = 0; p < map.partition_count(); ++p) {
+    if (map.partition_retired(p)) continue;  // Holds nothing to drain.
     const ReplicaSet* rs = map.partition(p);
     int owner = map.IndexOfSe(rs->replica_se(rs->master_id()));
     if (owner == se_index) {
@@ -90,27 +122,41 @@ MigrationPlan MigrationPlanner::PlanRehome(const routing::Router& router,
       plan.already_homed.push_back(id);
       continue;
     }
-    MigrationTaskSpec spec;
-    spec.kind = TaskKind::kRehome;
-    spec.identity = id;
-    spec.from_partition = entry.partition;
-    spec.to_partition = owner;
-    const ReplicaSet* rs = map.partition(entry.partition);
-    const storage::Record* rec =
-        rs->replica_store(rs->master_id()).Find(entry.key);
-    spec.estimated_bytes = rec != nullptr ? rec->ApproxBytes() : 64;
-    plan.tasks.push_back(std::move(spec));
+    plan.tasks.push_back(RehomeSpec(map, id, entry, owner));
   }
-  // The router's binding table iterates in hash order; sort for a
-  // deterministic, stable plan.
-  std::sort(plan.tasks.begin(), plan.tasks.end(),
-            [](const MigrationTaskSpec& a, const MigrationTaskSpec& b) {
-              return a.identity < b.identity;
-            });
-  std::sort(plan.already_homed.begin(), plan.already_homed.end());
-  for (const MigrationTaskSpec& spec : plan.tasks) {
-    plan.estimated_bytes += spec.estimated_bytes;
+  FinalizeRehomePlan(&plan);
+  return plan;
+}
+
+MigrationPlan MigrationPlanner::PlanSplit(const routing::Router& router,
+                                          const routing::PartitionMap& map,
+                                          location::IdentityType type,
+                                          uint32_t parent, uint32_t sibling) {
+  MigrationPlan plan;
+  if (map.partition_count() == 0) return plan;
+  for (const auto& [id, entry] : router.bindings()) {
+    if (id.type != type || entry.partition != parent) continue;
+    uint32_t owner = map.PartitionOfIdentity(id);
+    if (owner != sibling) continue;  // The split did not claim this arc half.
+    plan.tasks.push_back(RehomeSpec(map, id, entry, owner));
   }
+  FinalizeRehomePlan(&plan);
+  return plan;
+}
+
+MigrationPlan MigrationPlanner::PlanMerge(const routing::Router& router,
+                                          const routing::PartitionMap& map,
+                                          location::IdentityType type,
+                                          uint32_t sibling) {
+  MigrationPlan plan;
+  if (map.partition_count() == 0) return plan;
+  for (const auto& [id, entry] : router.bindings()) {
+    if (id.type != type || entry.partition != sibling) continue;
+    uint32_t owner = map.PartitionOfIdentity(id);
+    if (owner == sibling) continue;  // Defensive: points should be gone.
+    plan.tasks.push_back(RehomeSpec(map, id, entry, owner));
+  }
+  FinalizeRehomePlan(&plan);
   return plan;
 }
 

@@ -75,6 +75,7 @@ void Coalescer::Flush(const char* reason) {
       OpOutcome& op = flush.outcomes[cursor++];
       if (!op.ok()) ++out.failed_ops;
       if (op.bypassed_location) ++out.bypass_hits;
+      if (op.from_cache) ++out.cache_hits;
       out.outcomes.push_back(std::move(op));
     }
     metrics_->Observe("coalescer.queue_delay_us", out.queue_delay);

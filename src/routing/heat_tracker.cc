@@ -1,0 +1,76 @@
+#include "routing/heat_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace udr::routing {
+
+HeatTracker::HeatTracker(HeatTrackerConfig config) : config_(config) {
+  if (config_.halflife_us < 1) config_.halflife_us = 1;
+  if (config_.top_k < 1) config_.top_k = 1;
+  sketch_.reserve(static_cast<size_t>(config_.top_k));
+}
+
+double HeatTracker::Decay(MicroDuration dt) const {
+  if (dt <= 0) return 1.0;
+  return std::exp2(-static_cast<double>(dt) /
+                   static_cast<double>(config_.halflife_us));
+}
+
+void HeatTracker::RecordAccess(uint32_t partition, storage::RecordKey key,
+                               MicroTime now) {
+  ++total_;
+
+  if (partitions_.size() <= partition) partitions_.resize(partition + 1);
+  PartitionState& p = partitions_[partition];
+  p.heat = p.heat * Decay(now - p.last) + 1.0;
+  p.last = now;
+
+  // Space-saving sketch: hit bumps the slot; a miss with a full sketch
+  // replaces the coldest slot, inheriting its count as the error bound. The
+  // replacement scan is linear over top_k but only runs on the (cold-key)
+  // miss path — hot keys, the ones that matter, take the O(1) branch.
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++sketch_[it->second].count;
+    return;
+  }
+  if (sketch_.size() < static_cast<size_t>(config_.top_k)) {
+    index_[key] = sketch_.size();
+    sketch_.push_back(HotKey{key, 1, 0});
+    return;
+  }
+  size_t coldest = 0;
+  for (size_t i = 1; i < sketch_.size(); ++i) {
+    if (sketch_[i].count < sketch_[coldest].count) coldest = i;
+  }
+  HotKey& slot = sketch_[coldest];
+  index_.erase(slot.key);
+  index_[key] = coldest;
+  slot.error = slot.count;
+  slot.count = slot.count + 1;
+  slot.key = key;
+}
+
+double HeatTracker::PartitionHeat(uint32_t partition, MicroTime now) const {
+  if (partition >= partitions_.size()) return 0.0;
+  const PartitionState& p = partitions_[partition];
+  return p.heat * Decay(now - p.last);
+}
+
+int64_t HeatTracker::KeyCount(storage::RecordKey key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? 0 : sketch_[it->second].count;
+}
+
+std::vector<HeatTracker::HotKey> HeatTracker::TopKeys(size_t n) const {
+  std::vector<HotKey> out = sketch_;
+  std::sort(out.begin(), out.end(), [](const HotKey& a, const HotKey& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;  // Deterministic tie-break.
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace udr::routing

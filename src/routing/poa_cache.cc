@@ -1,0 +1,70 @@
+#include "routing/poa_cache.h"
+
+namespace udr::routing {
+
+PoaCache::PoaCache(PoaCacheConfig config) : config_(config) {
+  if (config_.capacity_bytes < 0) config_.capacity_bytes = 0;
+  if (config_.hit_cost < 0) config_.hit_cost = 0;
+}
+
+const storage::Record* PoaCache::Lookup(storage::RecordKey key,
+                                        uint32_t partition, uint64_t epoch) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  Entry& entry = *it->second;
+  if (entry.partition != partition || entry.epoch != epoch) {
+    // Cached under an owner/epoch that has since moved on (split, merge,
+    // migration cutover). Never serve across the boundary.
+    ++epoch_drops_;
+    ++misses_;
+    Erase(it->second);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return &lru_.front().record;
+}
+
+void PoaCache::Insert(storage::RecordKey key, uint32_t partition,
+                      uint64_t epoch, const storage::Record& record) {
+  const int64_t cost = record.CacheFootprintBytes();
+  if (cost > config_.capacity_bytes) return;
+
+  auto it = index_.find(key);
+  if (it != index_.end()) Erase(it->second);
+
+  while (bytes_ + cost > config_.capacity_bytes && !lru_.empty()) {
+    ++evictions_;
+    Erase(std::prev(lru_.end()));
+  }
+
+  lru_.push_front(Entry{key, partition, epoch, cost, record});
+  index_[key] = lru_.begin();
+  bytes_ += cost;
+  ++insertions_;
+}
+
+bool PoaCache::Invalidate(storage::RecordKey key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  ++invalidations_;
+  Erase(it->second);
+  return true;
+}
+
+void PoaCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+void PoaCache::Erase(std::list<Entry>::iterator it) {
+  bytes_ -= it->bytes;
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace udr::routing

@@ -1,0 +1,107 @@
+// PoA-local read-through cache for the hottest subscriber records.
+//
+// Signaling reads tolerate "fresh enough" (the FE read preference is
+// kNearest, not kMasterOnly), but this cache is built to a stricter policy so
+// it never widens the staleness window the replica set already has:
+//
+//   * it serves only reads that asked for kNearest — master-only reads
+//     (provisioning, delete preconditions) always go to the primary;
+//   * it is populated only from NON-stale read results, so an entry always
+//     equals the newest committed master state at insert time;
+//   * every committed write/delete for a key synchronously invalidates the
+//     key (the router's batched write flush and the UdrNf direct-write sites
+//     both call through), so an entry keeps equaling master state;
+//   * every entry is tagged with the (partition, epoch) it was resolved
+//     under; the router bumps a partition's epoch on migration cutover and
+//     on runtime split/merge, so entries cached across a re-home can never
+//     be served — the same defense-in-depth shape as the bypass-exception
+//     list on the hash-routing path.
+//
+// Net effect: a cache hit is indistinguishable from a fresh non-stale
+// kNearest read, at PoA-local cost instead of a PoA->SE round trip.
+//
+// Capacity is bounded in BYTES (Record::CacheFootprintBytes — payload plus
+// per-entry bookkeeping), evicting least-recently-used entries.
+
+#ifndef UDR_ROUTING_POA_CACHE_H_
+#define UDR_ROUTING_POA_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/time.h"
+#include "storage/record.h"
+
+namespace udr::routing {
+
+struct PoaCacheConfig {
+  /// Byte budget for cached records (CacheFootprintBytes accounting).
+  int64_t capacity_bytes = 256 * 1024;
+  /// PoA-local cost charged per cache hit (no PoA->SE transit, no SE
+  /// service slot — that is the whole point).
+  MicroDuration hit_cost = Micros(2);
+};
+
+class PoaCache {
+ public:
+  explicit PoaCache(PoaCacheConfig config);
+
+  /// Returns the cached record iff the entry was inserted under the same
+  /// (partition, epoch) the caller resolved `key` to right now; an entry
+  /// from an older epoch or a different partition is silently dropped and
+  /// the lookup misses. A hit refreshes LRU position. The pointer stays
+  /// valid until the next mutating call.
+  const storage::Record* Lookup(storage::RecordKey key, uint32_t partition,
+                                uint64_t epoch);
+
+  /// Inserts (or refreshes) a record copy tagged (partition, epoch),
+  /// evicting LRU entries until the byte budget holds. A record bigger than
+  /// the whole budget is not admitted.
+  void Insert(storage::RecordKey key, uint32_t partition, uint64_t epoch,
+              const storage::Record& record);
+
+  /// Drops `key`; returns true when an entry existed. The write path calls
+  /// this synchronously for every committed write/delete.
+  bool Invalidate(storage::RecordKey key);
+
+  void Clear();
+
+  int64_t bytes() const { return bytes_; }
+  size_t size() const { return index_.size(); }
+  int64_t capacity_bytes() const { return config_.capacity_bytes; }
+  MicroDuration hit_cost() const { return config_.hit_cost; }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t insertions() const { return insertions_; }
+  int64_t invalidations() const { return invalidations_; }
+  int64_t evictions() const { return evictions_; }
+  int64_t epoch_drops() const { return epoch_drops_; }
+
+ private:
+  struct Entry {
+    storage::RecordKey key = 0;
+    uint32_t partition = 0;
+    uint64_t epoch = 0;
+    int64_t bytes = 0;
+    storage::Record record;
+  };
+
+  void Erase(std::list<Entry>::iterator it);
+
+  PoaCacheConfig config_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<storage::RecordKey, std::list<Entry>::iterator> index_;
+  int64_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t insertions_ = 0;
+  int64_t invalidations_ = 0;
+  int64_t evictions_ = 0;
+  int64_t epoch_drops_ = 0;
+};
+
+}  // namespace udr::routing
+
+#endif  // UDR_ROUTING_POA_CACHE_H_

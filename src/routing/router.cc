@@ -21,7 +21,80 @@ void Router::RegisterPoa(uint32_t cluster_id, sim::SiteId site,
   // A freshly deployed stage starts with whatever its realization syncs on
   // its own (§3.4.2 provisioned copy, or cache-on-miss); the router only
   // fans out bindings made from now on.
-  poas_.push_back(Poa{cluster_id, site, stage});
+  Poa poa;
+  poa.cluster_id = cluster_id;
+  poa.site = site;
+  poa.stage = stage;
+  if (heat_.poa_cache_bytes > 0) {
+    poa.cache = std::make_unique<PoaCache>(
+        PoaCacheConfig{heat_.poa_cache_bytes, heat_.cache_hit_cost});
+  }
+  poas_.push_back(std::move(poa));
+}
+
+void Router::ConfigureHeat(const HeatConfig& config) {
+  heat_ = config;
+  // A cache without the sketch has no admission signal; the tracker is the
+  // prerequisite tier, so a cache budget implies tracking.
+  if (heat_.poa_cache_bytes > 0) heat_.track = true;
+  heat_tracker_ =
+      heat_.track ? std::make_unique<HeatTracker>(heat_.tracker) : nullptr;
+  for (Poa& poa : poas_) {
+    poa.cache = heat_.poa_cache_bytes > 0
+                    ? std::make_unique<PoaCache>(PoaCacheConfig{
+                          heat_.poa_cache_bytes, heat_.cache_hit_cost})
+                    : nullptr;
+  }
+}
+
+PoaCache* Router::poa_cache_at(sim::SiteId site) {
+  for (Poa& poa : poas_) {
+    if (poa.site == site) return poa.cache.get();
+  }
+  return nullptr;
+}
+
+void Router::InvalidateCached(storage::RecordKey key) {
+  for (Poa& poa : poas_) {
+    if (poa.cache != nullptr && poa.cache->Invalidate(key)) {
+      metrics_->Add("router.cache.invalidations");
+    }
+  }
+}
+
+void Router::BumpPartitionEpoch(uint32_t partition) {
+  if (partition_epochs_.size() <= partition) {
+    partition_epochs_.resize(partition + 1, 0);
+  }
+  ++partition_epochs_[partition];
+}
+
+const storage::Record* Router::CacheLookup(storage::RecordKey key,
+                                           uint32_t partition,
+                                           sim::SiteId poa_site) {
+  PoaCache* cache = poa_cache_at(poa_site);
+  if (cache == nullptr) return nullptr;
+  const storage::Record* rec =
+      cache->Lookup(key, partition, partition_epoch(partition));
+  metrics_->Add(rec != nullptr ? "router.cache.hits" : "router.cache.misses");
+  return rec;
+}
+
+void Router::CachePopulate(storage::RecordKey key, uint32_t partition,
+                           sim::SiteId poa_site, const storage::Record& record,
+                           bool stale) {
+  // Policy: only non-stale reads may seed the cache — an entry must equal
+  // the newest committed master state, or a hit would widen the staleness
+  // window beyond what the replica set itself serves.
+  if (stale) return;
+  PoaCache* cache = poa_cache_at(poa_site);
+  if (cache == nullptr) return;
+  if (heat_tracker_ != nullptr &&
+      heat_tracker_->KeyCount(key) < heat_.cache_admit_min_count) {
+    return;
+  }
+  cache->Insert(key, partition, partition_epoch(partition), record);
+  metrics_->Add("router.cache.insertions");
 }
 
 StatusOr<uint32_t> Router::FindPoaCluster(sim::SiteId client_site) const {
@@ -102,6 +175,9 @@ RouteResult Router::ResolveOne(const Identity& id, sim::SiteId poa_site,
     out.partition = map_->PartitionOfIdentity(id);
     out.rs = map_->partition(out.partition);
     out.bypassed_location = true;
+    if (heat_tracker_ != nullptr) {
+      heat_tracker_->RecordAccess(out.partition, out.key, network_->Now());
+    }
     metrics_->Add("router.bypass.hits");
     metrics_->Add("router.routed");
     return out;
@@ -122,6 +198,9 @@ RouteResult Router::ResolveOne(const Identity& id, sim::SiteId poa_site,
   out.key = loc.entry.key;
   out.partition = loc.entry.partition;
   out.rs = map_->partition(loc.entry.partition);
+  if (heat_tracker_ != nullptr) {
+    heat_tracker_->RecordAccess(out.partition, out.key, network_->Now());
+  }
   metrics_->Add("router.routed");
   return out;
 }
@@ -155,11 +234,14 @@ MicroDuration Router::DispatchGroup(const BatchRequest& batch,
                                     const std::vector<size_t>& members,
                                     sim::SiteId poa_site, BatchResult* result) {
   replication::ReplicaSet* rs = routes[members.front()].rs;
+  PoaCache* cache = poa_cache_at(poa_site);
   // The whole group ships to its replica set as one message: runs within it
   // execute in order, but their transits overlap in a single round-trip
   // window, so the group pays max(run transit) + the serialized service time.
+  // Cache hits never enter the window at all — they cost PoA-local time.
   MicroDuration service_total = 0;
   MicroDuration window_transit = 0;
+  MicroDuration cache_cost = 0;
 
   // Pending run of consecutive same-kind ops (one grouped dispatch each).
   std::vector<std::vector<storage::WriteOp>> write_txns;
@@ -180,6 +262,9 @@ MicroDuration Router::DispatchGroup(const BatchRequest& batch,
       o.seq = gw.per_op[j].seq;
       o.served_by = gw.per_op[j].served_by;
       if (!o.status.ok()) ++result->failed_ops;
+      // Synchronous invalidation: a committed write must never leave a
+      // cached copy behind, at this PoA or any other.
+      if (o.status.ok()) InvalidateCached(routes[write_idx[j]].key);
     }
     write_txns.clear();
     write_idx.clear();
@@ -190,7 +275,8 @@ MicroDuration Router::DispatchGroup(const BatchRequest& batch,
     service_total += gr.latency - gr.transit;
     window_transit = std::max(window_transit, gr.transit);
     for (size_t j = 0; j < gr.per_op.size(); ++j) {
-      OpOutcome& o = result->outcomes[read_idx[j]];
+      const size_t idx = read_idx[j];
+      OpOutcome& o = result->outcomes[idx];
       o.status = gr.per_op[j].status;
       o.latency = gr.per_op[j].latency;
       o.stale = gr.per_op[j].stale;
@@ -198,6 +284,14 @@ MicroDuration Router::DispatchGroup(const BatchRequest& batch,
       o.value = gr.per_op[j].value;
       o.record = std::move(gr.records[j]);
       if (!o.status.ok()) ++result->failed_ops;
+      // Read-through population: a fresh whole-record read of a hot key
+      // seeds this PoA's cache (admission filtered by the heat sketch).
+      if (cache != nullptr && o.ok() && !o.stale && o.record.has_value() &&
+          batch.ops[idx].kind == Operation::Kind::kReadRecord &&
+          batch.ops[idx].read_pref == replication::ReadPreference::kNearest) {
+        CachePopulate(routes[idx].key, routes[idx].partition, poa_site,
+                      *o.record, o.stale);
+      }
     }
     read_ops.clear();
     read_idx.clear();
@@ -227,7 +321,16 @@ MicroDuration Router::DispatchGroup(const BatchRequest& batch,
       write_txns.push_back(std::move(wb).Build());
       write_idx.push_back(i);
     } else {
+      // Flushing pending writes FIRST both preserves per-key order and makes
+      // the cache check below read-your-writes safe: any earlier write of
+      // this batch has already committed and invalidated its key.
       flush_writes();
+      if (TryServeFromCache(op, routes[i], cache, &result->outcomes[i])) {
+        cache_cost += cache->hit_cost();
+        ++result->cache_hits;
+        if (!result->outcomes[i].ok()) ++result->failed_ops;
+        continue;
+      }
       replication::BatchReadOp ro;
       ro.key = routes[i].key;
       if (op.kind == Operation::Kind::kReadAttribute) ro.attr = op.attr;
@@ -238,7 +341,40 @@ MicroDuration Router::DispatchGroup(const BatchRequest& batch,
   }
   flush_writes();
   flush_reads();
-  return window_transit + service_total;
+  return window_transit + service_total + cache_cost;
+}
+
+bool Router::TryServeFromCache(const Operation& op, const RouteResult& route,
+                               PoaCache* cache, OpOutcome* out) {
+  if (cache == nullptr || op.kind == Operation::Kind::kWrite) return false;
+  // Policy boundary: only kNearest reads are cache-eligible. Master-only
+  // reads (provisioning, delete preconditions) always see the primary.
+  if (op.read_pref != replication::ReadPreference::kNearest) return false;
+  const storage::Record* rec = cache->Lookup(
+      route.key, route.partition, partition_epoch(route.partition));
+  if (rec == nullptr) {
+    metrics_->Add("router.cache.misses");
+    return false;
+  }
+  out->from_cache = true;
+  out->stale = false;
+  out->latency = cache->hit_cost();
+  if (op.kind == Operation::Kind::kReadAttribute) {
+    // Mirrors ReplicaSet::ReadAttrOn exactly: the cached record equals the
+    // master copy, so attribute presence/absence answers match too.
+    const storage::Attribute* a = rec->Find(op.attr);
+    if (a == nullptr) {
+      out->status = Status::NotFound("attribute " + op.attr);
+    } else {
+      out->status = Status::Ok();
+      out->value = a->value;
+    }
+  } else {
+    out->status = Status::Ok();
+    out->record = *rec;
+  }
+  metrics_->Add("router.cache.hits");
+  return true;
 }
 
 BatchResult Router::RouteBatch(const BatchRequest& batch,

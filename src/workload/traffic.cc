@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "workload/zipf.h"
 
 namespace udr::workload {
 
@@ -15,6 +16,9 @@ using telecom::ProcedureResult;
 TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
   TrafficReport report;
   Rng rng(opts.seed);
+  // Subscriber draw: theta <= 0 is an exact rng.Uniform passthrough, so the
+  // historical uniform stream is byte-identical with the knob at its default.
+  ZipfGenerator subscriber_pick(opts.subscriber_count, opts.zipf_theta);
   sim::SimClock& clock = bed.clock();
   const MicroTime horizon = clock.Now() + opts.duration;
   const bool coalesced = opts.concurrent_events > 1;
@@ -117,7 +121,7 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
     if (next == next_fe) {
       next_fe += fe_gap;
       for (int b = 0; b < burst; ++b) {
-        uint64_t index = rng.Uniform(opts.subscriber_count);
+        uint64_t index = subscriber_pick.Next(rng);
         telecom::Subscriber sub = bed.factory().Make(index);
         sim::SiteId home = bed.HomeSiteOf(index);
         sim::SiteId serving = home;
@@ -162,7 +166,7 @@ TrafficReport RunTraffic(Testbed& bed, const TrafficOptions& opts) {
       if (coalesced) collect();
     } else {
       next_ps += ps_gap;
-      uint64_t index = rng.Uniform(opts.subscriber_count);
+      uint64_t index = subscriber_pick.Next(rng);
       double pick = rng.NextDouble();
       if (pick < 0.5) {
         report.ps.Fold(

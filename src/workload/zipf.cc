@@ -1,0 +1,51 @@
+#include "workload/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace udr::workload {
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta) {
+  assert(theta < 1.0 && "YCSB zipfian requires theta < 1");
+  if (theta_ <= 0.0 || n_ == 1) {
+    theta_ = 0.0;  // Uniform; Next() short-circuits to rng.Uniform.
+    return;
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (theta_ <= 0.0) return rng.Uniform(n_);
+
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t k = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return k >= n_ ? n_ - 1 : k;
+}
+
+double ZipfGenerator::ProbabilityOfRank(uint64_t k) const {
+  if (k >= n_) return 0.0;
+  if (theta_ <= 0.0) return 1.0 / static_cast<double>(n_);
+  return 1.0 / std::pow(static_cast<double>(k + 1), theta_) / zetan_;
+}
+
+}  // namespace udr::workload

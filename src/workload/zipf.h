@@ -1,0 +1,48 @@
+// Zipfian key-popularity generator (the YCSB construction: Gray et al.,
+// "Quickly Generating Billion-Record Synthetic Databases"). Unlike the crude
+// continuous-power-law approximation in Rng::Zipf, this samples the exact
+// discrete Zipf(theta) distribution over [0, n): P(k) proportional to
+// 1/(k+1)^theta, with rank 0 the most popular key.
+//
+// Determinism: the generator itself is pure state computed from (n, theta);
+// all randomness comes from the caller's Rng, so a fixed seed reproduces the
+// key sequence exactly. theta <= 0 degenerates to a literal rng.Uniform(n)
+// call — byte-identical key streams for every pre-existing uniform workload.
+
+#ifndef UDR_WORKLOAD_ZIPF_H_
+#define UDR_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace udr::workload {
+
+class ZipfGenerator {
+ public:
+  /// Precomputes the harmonic normalizer zeta(n, theta) — O(n) once, so the
+  /// per-sample path is loop-free. `theta` is the skew (YCSB default 0.99;
+  /// must be < 1 for this construction); values <= 0 mean uniform.
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Next key in [0, n). Skew falls on the low ranks: key 0 is hottest.
+  uint64_t Next(Rng& rng);
+
+  /// Exact probability of rank `k` under the discrete distribution (for
+  /// shape tests and bench reporting).
+  double ProbabilityOfRank(uint64_t k) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_ = 1;
+  double theta_ = 0.0;
+  double alpha_ = 0.0;  ///< 1 / (1 - theta).
+  double zetan_ = 0.0;  ///< zeta(n, theta).
+  double eta_ = 0.0;
+};
+
+}  // namespace udr::workload
+
+#endif  // UDR_WORKLOAD_ZIPF_H_
