@@ -1,0 +1,115 @@
+// Scenario-harness benchmark (self-checking, plain main): runs the five
+// standard disaster / mass-event scenarios end to end and gates on their
+// SLO rows — the ci smoke's proof that site loss, network partition, attach
+// storm, roaming wave and SE decommission all hold the harness invariants
+// (zero acked-write loss, per-key order, stale-serve policy) plus each
+// scenario's own bounds.
+//
+//   S1  per-scenario headline: availability, p99, stale fraction, audit.
+//   S2  every SLO row of every scenario ("any FAIL row breaks the smoke").
+//
+// Emits BENCH_scenarios.json (to $UDR_BENCH_SCENARIOS_JSON, or
+// ./BENCH_scenarios.json) with one entry per scenario carrying its SLO rows.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "scenario/scenarios.h"
+
+using namespace udr;
+
+namespace {
+
+std::string JsonPath() {
+  const char* env = std::getenv("UDR_BENCH_SCENARIOS_JSON");
+  return env != nullptr && env[0] != '\0' ? env : "BENCH_scenarios.json";
+}
+
+void WriteJson(const std::vector<scenario::ScenarioReport>& reports,
+               bool pass) {
+  std::string path = JsonPath();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_scenarios: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_scenarios\",\n  \"scenarios\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const scenario::ScenarioReport& r = reports[i];
+    workload::ClassStats fe = r.stats.FeAll();
+    std::fprintf(f,
+                 "    {\"name\": \"%s\",\n"
+                 "     \"fe_attempted\": %lld, \"fe_availability\": %.4f, "
+                 "\"fe_p99_us\": %lld, \"ps_availability\": %.4f,\n"
+                 "     \"acked_writes\": %lld, \"lost_writes\": %lld, "
+                 "\"unreadable\": %lld, \"order_violations\": %lld,\n"
+                 "     \"slos\": [\n",
+                 r.name.c_str(), static_cast<long long>(fe.attempted),
+                 fe.availability(), static_cast<long long>(fe.latency.P99()),
+                 r.stats.ps.availability(),
+                 static_cast<long long>(r.audit.acked_writes),
+                 static_cast<long long>(r.audit.lost_writes),
+                 static_cast<long long>(r.audit.unreadable),
+                 static_cast<long long>(r.audit.order_violations));
+    for (size_t s = 0; s < r.slos.size(); ++s) {
+      const scenario::SloResult& slo = r.slos[s];
+      std::fprintf(f,
+                   "       {\"label\": \"%s\", \"kind\": \"%s\", "
+                   "\"bound\": %.6g, \"actual\": %.6g, \"pass\": %s}%s\n",
+                   slo.check.label.c_str(),
+                   scenario::SloKindName(slo.check.kind), slo.check.bound,
+                   slo.actual, slo.pass ? "true" : "false",
+                   s + 1 < r.slos.size() ? "," : "");
+    }
+    std::fprintf(f, "     ],\n     \"pass\": %s}%s\n",
+                 r.Passed() ? "true" : "false",
+                 i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"pass\": %s\n}\n", pass ? "true" : "false");
+  std::fclose(f);
+  std::printf("bench_scenarios: wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::vector<scenario::ScenarioReport> reports;
+  for (const scenario::ScenarioSpec& spec : scenario::StandardScenarios()) {
+    std::printf("bench_scenarios: running %s...\n", spec.name.c_str());
+    reports.push_back(scenario::RunScenario(spec));
+  }
+
+  Table t1("S1: five compound scenarios (FE = front-end procedures, "
+           "PS = provisioning)",
+           {"scenario", "fe ops", "fe avail", "fe p99", "ps avail",
+            "acked", "lost", "order viol"});
+  for (const scenario::ScenarioReport& r : reports) {
+    workload::ClassStats fe = r.stats.FeAll();
+    t1.AddRow({r.name, Table::Num(fe.attempted),
+               Table::Pct(fe.availability()), Table::Dur(fe.latency.P99()),
+               Table::Pct(r.stats.ps.availability()),
+               Table::Num(r.audit.acked_writes),
+               Table::Num(r.audit.lost_writes + r.audit.unreadable),
+               Table::Num(r.audit.order_violations)});
+  }
+  t1.Print();
+  std::printf("\n");
+
+  bool pass = true;
+  Table t2("S2: SLO rows (a failed row breaks the CI smoke)",
+           {"scenario", "slo", "bound", "actual", "verdict"});
+  for (const scenario::ScenarioReport& r : reports) {
+    if (!r.Passed()) pass = false;
+    for (const scenario::SloResult& slo : r.slos) {
+      t2.AddRow({r.name, slo.check.label, Table::Dbl(slo.check.bound, 4),
+                 Table::Dbl(slo.actual, 4), slo.pass ? "PASS" : "FAIL"});
+    }
+  }
+  t2.Print();
+
+  WriteJson(reports, pass);
+  return pass ? 0 : 1;
+}

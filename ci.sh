@@ -25,7 +25,8 @@ echo "== Release: benchmark smoke (1 iteration each) =="
 # acceptance gates ride on must exist (a glob would silently skip a bench
 # that fell out of the build).
 for required in bench_batch_pipeline bench_coalescer bench_heat_tier \
-                bench_migration bench_record_layout bench_sharded_scale; do
+                bench_migration bench_record_layout bench_scenarios \
+                bench_sharded_scale; do
   if [[ ! -x "build-release/bench/${required}" ]]; then
     echo "SMOKE FAILED: required benchmark ${required} was not built"
     exit 1
@@ -37,8 +38,10 @@ export UDR_BENCH_JSON_PATH="${PWD}/build-release/BENCH_migration.json"
 export UDR_BENCH_RECORD_LAYOUT_JSON="${PWD}/build-release/BENCH_record_layout.json"
 export UDR_BENCH_SHARDED_SCALE_JSON="${PWD}/build-release/BENCH_sharded_scale.json"
 export UDR_BENCH_HEAT_TIER_JSON="${PWD}/build-release/BENCH_heat_tier.json"
+export UDR_BENCH_SCENARIOS_JSON="${PWD}/build-release/BENCH_scenarios.json"
 rm -f "${UDR_BENCH_JSON_PATH}" "${UDR_BENCH_RECORD_LAYOUT_JSON}" \
-      "${UDR_BENCH_SHARDED_SCALE_JSON}" "${UDR_BENCH_HEAT_TIER_JSON}"
+      "${UDR_BENCH_SHARDED_SCALE_JSON}" "${UDR_BENCH_HEAT_TIER_JSON}" \
+      "${UDR_BENCH_SCENARIOS_JSON}"
 bench_failed=0
 for bench in build-release/bench/bench_*; do
   [[ -x "${bench}" ]] || continue
@@ -62,7 +65,8 @@ if [[ "${bench_failed}" != 0 ]]; then
   exit 1
 fi
 for json in "${UDR_BENCH_JSON_PATH}" "${UDR_BENCH_RECORD_LAYOUT_JSON}" \
-            "${UDR_BENCH_SHARDED_SCALE_JSON}" "${UDR_BENCH_HEAT_TIER_JSON}"; do
+            "${UDR_BENCH_SHARDED_SCALE_JSON}" "${UDR_BENCH_HEAT_TIER_JSON}" \
+            "${UDR_BENCH_SCENARIOS_JSON}"; do
   if [[ ! -s "${json}" ]]; then
     echo "SMOKE FAILED: benchmark did not emit ${json}"
     exit 1
@@ -79,12 +83,13 @@ echo "== ASan/UBSan: configure + build =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DUDR_SANITIZE=ON
 cmake --build build-asan -j "${JOBS}"
 
-echo "== ASan/UBSan: ctest =="
+echo "== ASan/UBSan: ctest (fast subset: -LE slow) =="
 # Covers the whole suite, in particular the batched data path + coalescing
 # window tests (batch_test, coalescer_test) whose enqueue/demux paths move
-# the most state around.
+# the most state around. The full standard scenarios (LABELS slow) run in
+# the un-instrumented tier-1 stage; the scenario smoke subset stays in here.
 ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -LE slow
 
 echo "== TSan: configure + build =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUDR_TSAN=ON

@@ -5,6 +5,7 @@
 #include <variant>
 
 #include "routing/batch.h"
+#include "routing/partition_map.h"
 #include "sim/topology.h"
 
 namespace udr::exec {
@@ -21,10 +22,31 @@ ShardSlicer::ShardSlicer(int num_shards)
   ring_.AddNodes(0, static_cast<uint32_t>(num_shards_));
 }
 
+ShardSlicer::ShardSlicer(const routing::PartitionMap* map, int num_shards)
+    : num_shards_(num_shards < 1 ? 1 : num_shards), factory_(0), map_(map) {
+  // Deal live partitions round-robin across shards in id order: the shard
+  // boundary follows the data path's own partition boundary, and the mapping
+  // is a pure function of map state (deterministic replay).
+  partition_shard_.assign(map_->partition_count(), -1);
+  int next = 0;
+  for (uint32_t id = 0; id < map_->partition_count(); ++id) {
+    if (map_->partition_retired(id)) continue;
+    partition_shard_[id] = next++ % num_shards_;
+  }
+}
+
+int ShardSlicer::ShardOfPartition(uint32_t partition) const {
+  return partition < partition_shard_.size() ? partition_shard_[partition] : -1;
+}
+
 int ShardSlicer::ShardOf(uint64_t subscriber) const {
   if (num_shards_ <= 1) return 0;
   const location::Identity id{location::IdentityType::kImsi,
                               factory_.ImsiOf(subscriber)};
+  if (map_ != nullptr) {
+    const int shard = ShardOfPartition(map_->PartitionOfIdentity(id));
+    return shard >= 0 ? shard : 0;
+  }
   return static_cast<int>(ring_.NodeOfHash(location::HashIdentity(id)));
 }
 
@@ -33,7 +55,12 @@ int Shard::ShardOfSubscriber(uint64_t subscriber, int num_shards) {
 }
 
 Shard::Shard(int index, int num_shards, const ShardOptions& opts)
-    : index_(index), num_shards_(num_shards), slicer_(num_shards),
+    : index_(index), num_shards_(num_shards),
+      own_slicer_(std::make_unique<ShardSlicer>(num_shards)),
+      slicer_(own_slicer_.get()), opts_(opts), factory_(opts.seed) {}
+
+Shard::Shard(int index, const ShardSlicer* slicer, const ShardOptions& opts)
+    : index_(index), num_shards_(slicer->num_shards()), slicer_(slicer),
       opts_(opts), factory_(opts.seed) {}
 
 Shard::~Shard() = default;
@@ -63,7 +90,7 @@ void Shard::Provision() {
                                                  &udr_->metrics());
 
   for (uint64_t sub = 0; sub < opts_.total_subscribers; ++sub) {
-    if (slicer_.ShardOf(sub) != index_) continue;
+    if (slicer_->ShardOf(sub) != index_) continue;
     auto spec = factory_.MakeSpec(sub);
     auto outcome = udr_->CreateSubscriber(spec, 0);
     if (outcome.ok()) ++provisioned_;

@@ -29,6 +29,10 @@
 #include "telecom/subscriber.h"
 #include "udr/udr_nf.h"
 
+namespace udr::routing {
+class PartitionMap;
+}  // namespace udr::routing
+
 namespace udr::exec {
 
 /// Maps subscribers to shards the way the routing layer maps identities to
@@ -40,17 +44,35 @@ namespace udr::exec {
 /// shard-count changes the way ring membership changes are), not an
 /// unrelated splitmix64 of the raw index. IMSIs are seed-independent, so the
 /// slicer needs no workload seed to agree with every factory.
+///
+/// Partition-aligned mode (the scenario-harness contract): constructed over a
+/// real routing::PartitionMap, the slicer resolves a subscriber to its actual
+/// partition and deals live partitions round-robin across shards, so a shard's
+/// slice is a union of whole partitions — every subscriber of one partition
+/// is owned by exactly one shard, matching the data path's own placement
+/// instead of an independent ring. ShardOf() is const and lock-free; a shared
+/// slicer is safe across worker threads as long as the map is not mutated
+/// (no commissioning / splits / retires) while a run is in flight.
 class ShardSlicer {
  public:
   explicit ShardSlicer(int num_shards);
+  /// Partition-aligned mode. `map` must be commissioned, outlive the slicer
+  /// and stay structurally unmutated while shards execute.
+  ShardSlicer(const routing::PartitionMap* map, int num_shards);
 
   int ShardOf(uint64_t subscriber) const;
   int num_shards() const { return num_shards_; }
+  bool partition_aligned() const { return map_ != nullptr; }
+  /// Shard owning a partition's whole slice (partition-aligned mode only;
+  /// -1 for retired partitions or hash mode).
+  int ShardOfPartition(uint32_t partition) const;
 
  private:
   int num_shards_;
   HashRing ring_;
   telecom::SubscriberFactory factory_;
+  const routing::PartitionMap* map_ = nullptr;
+  std::vector<int> partition_shard_;  ///< Partition id -> owning shard.
 };
 
 /// Per-shard deployment knobs.
@@ -100,6 +122,10 @@ class Shard {
   static int ShardOfSubscriber(uint64_t subscriber, int num_shards);
 
   Shard(int index, int num_shards, const ShardOptions& opts);
+  /// Shares an externally owned slicer (e.g. ShardRuntime's partition-aligned
+  /// one) so provisioning and routing agree on the slice boundary. `slicer`
+  /// must outlive the shard.
+  Shard(int index, const ShardSlicer* slicer, const ShardOptions& opts);
   ~Shard();
 
   int index() const { return index_; }
@@ -130,7 +156,8 @@ class Shard {
 
   int index_;
   int num_shards_;
-  ShardSlicer slicer_;
+  std::unique_ptr<ShardSlicer> own_slicer_;  ///< Null when sharing one.
+  const ShardSlicer* slicer_;
   ShardOptions opts_;
   sim::SimClock clock_;
   std::unique_ptr<sim::Network> network_;

@@ -22,7 +22,10 @@ int64_t ThreadCpuNowNs() {
 
 ShardRuntime::ShardRuntime(const ShardRuntimeOptions& opts) : opts_(opts) {
   if (opts_.num_shards < 1) opts_.num_shards = 1;
-  slicer_ = std::make_unique<ShardSlicer>(opts_.num_shards);
+  slicer_ = opts_.slice_map != nullptr
+                ? std::make_unique<ShardSlicer>(opts_.slice_map,
+                                                opts_.num_shards)
+                : std::make_unique<ShardSlicer>(opts_.num_shards);
   queues_.reserve(opts_.num_shards);
   shards_.resize(opts_.num_shards);
   busy_ns_.assign(opts_.num_shards, 0);
@@ -54,8 +57,10 @@ void ShardRuntime::WorkerLoop(int index) {
   // everything it reaches (clock, network, partitions, replica sets,
   // coalescer) is thread-confined. shards_[index] is this worker's slot
   // only; the driver reads it after join.
-  shards_[index] =
-      std::make_unique<Shard>(index, opts_.num_shards, opts_.shard);
+  // Workers share the runtime's slicer (read-only, lock-free) so every
+  // shard provisions and routes against the same slice boundary, including
+  // the partition-aligned one.
+  shards_[index] = std::make_unique<Shard>(index, slicer_.get(), opts_.shard);
   Shard& shard = *shards_[index];
   shard.Provision();
   ready_.fetch_add(1, std::memory_order_release);

@@ -35,6 +35,12 @@ struct ShardRuntimeOptions {
   /// Capacity of each shard's SPSC handoff ring (rounded up to a power of
   /// two). A full ring back-pressures the driver (Submit spins with yield).
   size_t queue_capacity = 4096;
+  /// When set, shard slices follow this real PartitionMap (partition-aligned
+  /// ShardSlicer): a shard owns whole partitions, so the scenario harness can
+  /// run sharded with the same placement its single-threaded data path uses.
+  /// Must outlive the runtime and stay structurally unmutated (no
+  /// commissioning / splits / retires) between Start() and Finish().
+  const routing::PartitionMap* slice_map = nullptr;
 };
 
 /// Per-shard slice of the final report.

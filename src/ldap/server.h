@@ -116,6 +116,10 @@ class L4Balancer {
 
   size_t server_count() const { return servers_.size(); }
 
+  /// Every registered server, healthy or not (maintenance: drain/restore a
+  /// whole farm — Pick() only ever returns healthy instances).
+  const std::vector<LdapServer*>& servers() const { return servers_; }
+
   /// Healthy servers currently in rotation.
   size_t healthy_count() const {
     size_t n = 0;

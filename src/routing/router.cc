@@ -101,6 +101,7 @@ StatusOr<uint32_t> Router::FindPoaCluster(sim::SiteId client_site) const {
   int best = -1;
   MicroDuration best_rtt = 0;
   for (size_t i = 0; i < poas_.size(); ++i) {
+    if (!poas_[i].serving) continue;
     sim::SiteId s = poas_[i].site;
     if (!network_->Reachable(client_site, s)) continue;
     MicroDuration rtt = network_->topology().Rtt(client_site, s);
@@ -114,6 +115,19 @@ StatusOr<uint32_t> Router::FindPoaCluster(sim::SiteId client_site) const {
                                std::to_string(client_site));
   }
   return poas_[best].cluster_id;
+}
+
+void Router::SetPoaServing(uint32_t cluster_id, bool serving) {
+  for (Poa& poa : poas_) {
+    if (poa.cluster_id == cluster_id) poa.serving = serving;
+  }
+}
+
+bool Router::PoaServing(uint32_t cluster_id) const {
+  for (const Poa& poa : poas_) {
+    if (poa.cluster_id == cluster_id) return poa.serving;
+  }
+  return false;
 }
 
 location::LocationStage* Router::StageAtSite(sim::SiteId site) const {

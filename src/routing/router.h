@@ -95,8 +95,15 @@ class Router {
   void RegisterPoa(uint32_t cluster_id, sim::SiteId site,
                    location::LocationStage* stage);
 
-  /// Nearest reachable PoA for a client; returns its cluster id.
+  /// Nearest reachable, serving PoA for a client; returns its cluster id.
   StatusOr<uint32_t> FindPoaCluster(sim::SiteId client_site) const;
+
+  /// Takes a PoA out of (or back into) client rotation. A non-serving PoA —
+  /// its site lost, its LDAP farm drained — is skipped by FindPoaCluster, so
+  /// clients transparently fail over to the next-nearest PoA while the data
+  /// path keeps resolving through surviving location-stage instances.
+  void SetPoaServing(uint32_t cluster_id, bool serving);
+  bool PoaServing(uint32_t cluster_id) const;
 
   /// Location stage serving `site`; nullptr when no PoA is deployed there.
   location::LocationStage* StageAtSite(sim::SiteId site) const;
@@ -220,6 +227,7 @@ class Router {
     sim::SiteId site = 0;
     location::LocationStage* stage = nullptr;
     std::unique_ptr<PoaCache> cache;
+    bool serving = true;  ///< In client rotation (false: site lost/drained).
   };
 
   /// Resolves one op: hash bypass when eligible, location stage otherwise.

@@ -1,0 +1,153 @@
+#include "scenario/scenarios.h"
+
+namespace udr::scenario {
+
+namespace {
+
+/// Shared deployment shape: three sites, one cluster each, two SEs per
+/// cluster, two partitions per SE, subscribers pinned to home sites
+/// (selective placement §3.5). Scenarios tweak the replication / coalescing
+/// / migration knobs on top.
+ScenarioSpec Base(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.testbed.sites = 3;
+  spec.testbed.seed = 42;
+  spec.testbed.subscribers = 600;
+  spec.testbed.pin_home_sites = true;
+  spec.testbed.udr.replication_factor = 3;
+  spec.testbed.udr.se_per_cluster = 2;
+  spec.testbed.udr.partitions_per_se = 2;
+  spec.testbed.udr.fe_slave_reads = true;
+  spec.duration = Seconds(12);
+  spec.fe_rate_per_sec = 300.0;
+  spec.ps_rate_per_sec = 20.0;
+  spec.ims_fraction = 0.15;
+  spec.ps_site = 0;
+  return spec;
+}
+
+/// SLO rows fire just past the traffic horizon: windows are flushed and
+/// (when the spec drains) background migration has completed by then.
+MicroTime AssertAt(const ScenarioSpec& spec) {
+  return spec.duration + Millis(1);
+}
+
+SloCheck Slo(SloKind kind, const std::string& label, double bound = 0.0,
+             int64_t arg = -1) {
+  return SloCheck{kind, label, bound, arg};
+}
+
+/// The invariant rows every scenario carries: acked durability, per-key
+/// serialization order, and the PS master-only stale policy.
+void AddCoreSlos(ScenarioSpec* spec) {
+  MicroTime at = AssertAt(*spec);
+  spec->script.AssertSlo(
+      at, Slo(SloKind::kZeroAckedWriteLoss, "zero-acked-write-loss"));
+  spec->script.AssertSlo(at, Slo(SloKind::kPerKeyOrder, "per-key-order"));
+  spec->script.AssertSlo(at, Slo(SloKind::kPsStaleZero, "ps-stale-zero"));
+}
+
+}  // namespace
+
+ScenarioSpec SiteLossFailover() {
+  ScenarioSpec spec = Base("site-loss-failover");
+  // Zero acked-write loss across a site kill needs synchronous replication:
+  // async mode legitimately loses acked-but-unshipped writes on failover.
+  spec.testbed.udr.sync_mode = replication::SyncMode::kDualSequence;
+  spec.testbed.udr.failover_detection = Millis(500);
+  spec.script.KillSite(Seconds(3), 1);
+  spec.script.RestoreSite(Seconds(9), 1);
+  AddCoreSlos(&spec);
+  MicroTime at = AssertAt(spec);
+  spec.script.AssertSlo(at, Slo(SloKind::kFailoversMin, "failovers-min", 1));
+  spec.script.AssertSlo(
+      at, Slo(SloKind::kFeAvailabilityMin, "fe-availability-min", 0.98));
+  spec.script.AssertSlo(
+      at, Slo(SloKind::kPsAvailabilityMin, "ps-availability-min", 0.90));
+  spec.script.AssertSlo(
+      at, Slo(SloKind::kFeStaleFractionMax, "fe-stale-fraction-max", 0.05));
+  return spec;
+}
+
+ScenarioSpec IntersitePartition() {
+  ScenarioSpec spec = Base("intersite-partition");
+  // Prefer availability: the minority side keeps accepting writes into
+  // divergence logs; the heal step reconciles them (§5).
+  spec.testbed.udr.partition_mode =
+      replication::PartitionMode::kPreferAvailability;
+  spec.testbed.udr.merge_policy = replication::MergePolicy::kFieldMergeLww;
+  spec.script.PartitionLink(Seconds(3), Seconds(8), {0}, {1, 2});
+  spec.script.HealLink(Seconds(8) + Millis(50));
+  AddCoreSlos(&spec);
+  MicroTime at = AssertAt(spec);
+  spec.script.AssertSlo(
+      at, Slo(SloKind::kDivergenceObserved, "divergence-observed", 1));
+  spec.script.AssertSlo(at, Slo(SloKind::kConverged, "converged"));
+  spec.script.AssertSlo(
+      at, Slo(SloKind::kFeAvailabilityMin, "fe-availability-min", 0.95));
+  return spec;
+}
+
+ScenarioSpec AttachStorm() {
+  ScenarioSpec spec = Base("attach-storm");
+  // Storm events ride the PoA cross-event dispatch windows; the subscriber
+  // draw is Zipf-skewed so hot keys hammer single partitions.
+  spec.testbed.udr.coalesce_window_us = Micros(200);
+  spec.testbed.udr.coalesce_max_ops = 64;
+  spec.zipf_theta = 0.99;
+  spec.script.AttachStorm(Seconds(3), Seconds(4), /*events_per_tick=*/8);
+  AddCoreSlos(&spec);
+  MicroTime at = AssertAt(spec);
+  spec.script.AssertSlo(at,
+                        Slo(SloKind::kStormP99Max, "storm-p99-max", 5000.0));
+  spec.script.AssertSlo(
+      at, Slo(SloKind::kFeAvailabilityMin, "fe-availability-min", 0.99));
+  return spec;
+}
+
+ScenarioSpec RoamingWave() {
+  ScenarioSpec spec = Base("roaming-wave");
+  // Population-weighted rebalance onto a freshly scaled-out cluster, drained
+  // live through the throttled background migration scheduler.
+  spec.testbed.udr.rebalance_weight = routing::RebalanceWeight::kPopulation;
+  spec.testbed.udr.migration_bandwidth_bps = 4 * 1024 * 1024;
+  spec.testbed.udr.migration_chunk_bytes = 32 * 1024;
+  spec.script.RoamingWave(Seconds(2), Seconds(8), /*to_site=*/2,
+                          /*fraction=*/0.5);
+  spec.script.ScaleOut(Seconds(4), /*site=*/2);
+  spec.script.StartRebalance(Seconds(4) + Millis(500));
+  AddCoreSlos(&spec);
+  MicroTime at = AssertAt(spec);
+  spec.script.AssertSlo(
+      at, Slo(SloKind::kMigrationComplete, "migration-complete"));
+  spec.script.AssertSlo(
+      at, Slo(SloKind::kPopulationSpreadMax, "population-spread-max", 150));
+  spec.script.AssertSlo(
+      at, Slo(SloKind::kFeAvailabilityMin, "fe-availability-min", 0.97));
+  spec.script.AssertSlo(at, Slo(SloKind::kFeP99Max, "fe-p99-max", 100000.0));
+  return spec;
+}
+
+ScenarioSpec SeDecommission() {
+  ScenarioSpec spec = Base("se-decommission");
+  spec.testbed.udr.migration_bandwidth_bps = 4 * 1024 * 1024;
+  spec.testbed.udr.migration_chunk_bytes = 32 * 1024;
+  spec.duration = Seconds(10);
+  spec.script.DecommissionSe(Seconds(3), /*se_index=*/0);
+  AddCoreSlos(&spec);
+  MicroTime at = AssertAt(spec);
+  spec.script.AssertSlo(at, Slo(SloKind::kSeDrained, "se-drained", 0, 0));
+  spec.script.AssertSlo(
+      at, Slo(SloKind::kMigrationComplete, "migration-complete"));
+  spec.script.AssertSlo(
+      at, Slo(SloKind::kFeAvailabilityMin, "fe-availability-min", 0.97));
+  return spec;
+}
+
+std::vector<ScenarioSpec> StandardScenarios() {
+  return {SiteLossFailover(), IntersitePartition(), AttachStorm(),
+          RoamingWave(), SeDecommission()};
+}
+
+}  // namespace udr::scenario

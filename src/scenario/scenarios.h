@@ -1,0 +1,41 @@
+// The five compound disaster / mass-event scenarios the harness ships with,
+// each a ScenarioSpec (deployment + script + traffic shape) with explicit
+// SLO rows:
+//
+//   1. site-loss-failover    — a whole site dies under load and later
+//      returns; dual-sequence replication + failover keep every acked write,
+//      PS reads stay master-clean, FE staleness stays within policy.
+//   2. intersite-partition   — the backbone splits one site from the other
+//      two under prefer-availability; divergent writes are taken, the heal
+//      reconciliation converges, and the last-acked state survives.
+//   3. attach-storm          — a mass re-registration storm fires through
+//      the PoA dispatch windows over a Zipf-skewed population; the storm
+//      p99 stays bounded and nothing acked is lost.
+//   4. roaming-wave          — a population wave roams to one site; a new
+//      cluster scales out there and a population-weighted rebalance drains
+//      live through the throttled migration scheduler.
+//   5. se-decommission       — one storage element drains its primary
+//      copies via a single planner call while traffic keeps flowing.
+
+#ifndef UDR_SCENARIO_SCENARIOS_H_
+#define UDR_SCENARIO_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "scenario/engine.h"
+
+namespace udr::scenario {
+
+ScenarioSpec SiteLossFailover();
+ScenarioSpec IntersitePartition();
+ScenarioSpec AttachStorm();
+ScenarioSpec RoamingWave();
+ScenarioSpec SeDecommission();
+
+/// All five, in the order above.
+std::vector<ScenarioSpec> StandardScenarios();
+
+}  // namespace udr::scenario
+
+#endif  // UDR_SCENARIO_SCENARIOS_H_

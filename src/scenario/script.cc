@@ -1,0 +1,148 @@
+#include "scenario/script.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace udr::scenario {
+
+Script& Script::KillSite(MicroTime at, sim::SiteId site) {
+  Step s;
+  s.at = at;
+  s.kind = StepKind::kKillSite;
+  s.site = site;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Script& Script::RestoreSite(MicroTime at, sim::SiteId site) {
+  Step s;
+  s.at = at;
+  s.kind = StepKind::kRestoreSite;
+  s.site = site;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Script& Script::PartitionLink(MicroTime at, MicroTime until,
+                              std::vector<sim::SiteId> group_a,
+                              std::vector<sim::SiteId> group_b) {
+  Step s;
+  s.at = at;
+  s.kind = StepKind::kPartitionLink;
+  s.until = until;
+  s.group_a = std::move(group_a);
+  s.group_b = std::move(group_b);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Script& Script::HealLink(MicroTime at) {
+  Step s;
+  s.at = at;
+  s.kind = StepKind::kHealLink;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Script& Script::AttachStorm(MicroTime at, MicroDuration duration,
+                            int events_per_tick) {
+  Step s;
+  s.at = at;
+  s.kind = StepKind::kAttachStorm;
+  s.duration = duration;
+  s.events_per_tick = events_per_tick;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Script& Script::RoamingWave(MicroTime at, MicroDuration duration,
+                            sim::SiteId to_site, double fraction) {
+  Step s;
+  s.at = at;
+  s.kind = StepKind::kRoamingWave;
+  s.duration = duration;
+  s.site = to_site;
+  s.fraction = fraction;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Script& Script::ScaleOut(MicroTime at, sim::SiteId site) {
+  Step s;
+  s.at = at;
+  s.kind = StepKind::kScaleOut;
+  s.site = site;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Script& Script::StartRebalance(MicroTime at) {
+  Step s;
+  s.at = at;
+  s.kind = StepKind::kStartRebalance;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Script& Script::DecommissionSe(MicroTime at, int se_index) {
+  Step s;
+  s.at = at;
+  s.kind = StepKind::kDecommissionSe;
+  s.se_index = se_index;
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+Script& Script::AssertSlo(MicroTime at, SloCheck check) {
+  Step s;
+  s.at = at;
+  s.kind = StepKind::kAssertSlo;
+  s.slo = std::move(check);
+  steps_.push_back(std::move(s));
+  return *this;
+}
+
+std::vector<Step> Script::Sorted() const {
+  std::vector<Step> sorted = steps_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Step& a, const Step& b) { return a.at < b.at; });
+  return sorted;
+}
+
+const char* StepKindName(StepKind kind) {
+  switch (kind) {
+    case StepKind::kKillSite: return "kill-site";
+    case StepKind::kRestoreSite: return "restore-site";
+    case StepKind::kPartitionLink: return "partition-link";
+    case StepKind::kHealLink: return "heal-link";
+    case StepKind::kAttachStorm: return "attach-storm";
+    case StepKind::kRoamingWave: return "roaming-wave";
+    case StepKind::kScaleOut: return "scale-out";
+    case StepKind::kStartRebalance: return "start-rebalance";
+    case StepKind::kDecommissionSe: return "decommission-se";
+    case StepKind::kAssertSlo: return "assert-slo";
+  }
+  return "?";
+}
+
+const char* SloKindName(SloKind kind) {
+  switch (kind) {
+    case SloKind::kZeroAckedWriteLoss: return "zero-acked-write-loss";
+    case SloKind::kPerKeyOrder: return "per-key-order";
+    case SloKind::kPsStaleZero: return "ps-stale-zero";
+    case SloKind::kFeStaleFractionMax: return "fe-stale-fraction-max";
+    case SloKind::kFeAvailabilityMin: return "fe-availability-min";
+    case SloKind::kPsAvailabilityMin: return "ps-availability-min";
+    case SloKind::kFeP99Max: return "fe-p99-max";
+    case SloKind::kStormP99Max: return "storm-p99-max";
+    case SloKind::kFailoversMin: return "failovers-min";
+    case SloKind::kDivergenceObserved: return "divergence-observed";
+    case SloKind::kConverged: return "converged";
+    case SloKind::kMigrationComplete: return "migration-complete";
+    case SloKind::kPopulationSpreadMax: return "population-spread-max";
+    case SloKind::kSeDrained: return "se-drained";
+  }
+  return "?";
+}
+
+}  // namespace udr::scenario

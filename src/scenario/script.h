@@ -1,0 +1,116 @@
+// Declarative disaster / mass-event scripts: a scenario is a list of timed
+// steps over the simulation clock — sites die and recover, backbone links
+// partition and heal, attach storms and roaming waves fire, storage elements
+// decommission — plus SLO assertions evaluated against the continuously
+// collected statistics. Scripts are pure data: the scenario::Engine compiles
+// and executes them against a workload::Testbed, and the same script + seed
+// always replays byte-identically.
+
+#ifndef UDR_SCENARIO_SCRIPT_H_
+#define UDR_SCENARIO_SCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/topology.h"
+
+namespace udr::scenario {
+
+/// What a timed step does when the clock reaches it.
+enum class StepKind {
+  kKillSite,        ///< Crash every replica the site hosts + drain its PoA.
+  kRestoreSite,     ///< Recover the site's replicas + rejoin its PoA.
+  kPartitionLink,   ///< Sever links between two site groups for [at, until).
+  kHealLink,        ///< Post-heal reconciliation (catch-up + restoration).
+  kAttachStorm,     ///< Mass re-registration burst through the PoA windows.
+  kRoamingWave,     ///< A share of procedures originates at a visited site.
+  kScaleOut,        ///< Deploy one more blade cluster at a site.
+  kStartRebalance,  ///< Plan + enqueue a background (throttled) rebalance.
+  kDecommissionSe,  ///< Drain one SE's primary copies via the scheduler.
+  kAssertSlo,       ///< Evaluate one SLO row against the stats so far.
+};
+
+/// What an SLO assertion measures. `bound` semantics per kind are noted;
+/// counters with an implicit bound of zero ignore it.
+enum class SloKind {
+  kZeroAckedWriteLoss,   ///< Ledger audit: acked stamps all durable (== 0).
+  kPerKeyOrder,          ///< Commit-log stamp regressions per key (== 0).
+  kPsStaleZero,          ///< Stale master-only PS procedures (== 0).
+  kFeStaleFractionMax,   ///< FE stale-procedure fraction <= bound.
+  kFeAvailabilityMin,    ///< FE availability >= bound.
+  kPsAvailabilityMin,    ///< PS availability >= bound.
+  kFeP99Max,             ///< FE p99 procedure latency <= bound µs.
+  kStormP99Max,          ///< Storm-deferred p99 latency <= bound µs.
+  kFailoversMin,         ///< Partitions whose master moved >= bound.
+  kDivergenceObserved,   ///< AP-mode divergent writes taken >= bound.
+  kConverged,            ///< Partitions still holding divergence (== 0).
+  kMigrationComplete,    ///< Background migration tasks still live (== 0).
+  kPopulationSpreadMax,  ///< Final per-SE population spread <= bound.
+  kSeDrained,            ///< Primary copies left on SE `arg` (== 0).
+};
+
+/// One SLO row: named, bounded, evaluated by the verifier when its step
+/// fires (scenarios put them at end-of-run).
+struct SloCheck {
+  SloKind kind = SloKind::kZeroAckedWriteLoss;
+  std::string label;   ///< Row name in the report / BENCH json.
+  double bound = 0.0;  ///< Threshold (see SloKind).
+  int64_t arg = -1;    ///< Kind-specific operand (e.g. SE index).
+};
+
+/// One timed step. Which fields matter depends on `kind`; unused fields
+/// keep their defaults so steps compare and serialize deterministically.
+struct Step {
+  MicroTime at = 0;  ///< Fire time, relative to scenario start.
+  StepKind kind = StepKind::kAssertSlo;
+
+  sim::SiteId site = 0;               ///< Kill/Restore/ScaleOut/RoamingWave.
+  std::vector<sim::SiteId> group_a;   ///< PartitionLink side A.
+  std::vector<sim::SiteId> group_b;   ///< PartitionLink side B.
+  MicroTime until = 0;                ///< PartitionLink heal time.
+  MicroDuration duration = 0;         ///< Storm / wave window length.
+  int events_per_tick = 0;            ///< Storm: deferred events per FE tick.
+  double fraction = 0.0;              ///< Wave: share of roamed procedures.
+  int se_index = -1;                  ///< DecommissionSe target.
+  SloCheck slo;                       ///< AssertSlo payload.
+};
+
+/// A scenario script: construction-order step list with builder helpers.
+/// The engine executes steps in time order (stable for equal times).
+class Script {
+ public:
+  Script& KillSite(MicroTime at, sim::SiteId site);
+  Script& RestoreSite(MicroTime at, sim::SiteId site);
+  /// Severs every link between the groups for [at, until). Pair with a
+  /// HealLink step shortly after `until` to reconcile divergent state.
+  Script& PartitionLink(MicroTime at, MicroTime until,
+                        std::vector<sim::SiteId> group_a,
+                        std::vector<sim::SiteId> group_b);
+  Script& HealLink(MicroTime at);
+  Script& AttachStorm(MicroTime at, MicroDuration duration,
+                      int events_per_tick);
+  Script& RoamingWave(MicroTime at, MicroDuration duration,
+                      sim::SiteId to_site, double fraction);
+  Script& ScaleOut(MicroTime at, sim::SiteId site);
+  Script& StartRebalance(MicroTime at);
+  Script& DecommissionSe(MicroTime at, int se_index);
+  Script& AssertSlo(MicroTime at, SloCheck check);
+
+  const std::vector<Step>& steps() const { return steps_; }
+
+  /// Steps sorted by fire time (stable: ties keep construction order).
+  std::vector<Step> Sorted() const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+/// Human-readable step kind (reports and traces).
+const char* StepKindName(StepKind kind);
+const char* SloKindName(SloKind kind);
+
+}  // namespace udr::scenario
+
+#endif  // UDR_SCENARIO_SCRIPT_H_

@@ -219,6 +219,25 @@ migration::MigrationProgress UdrNf::StartMigration() {
 
 void UdrNf::PumpMigration() { migration_->Pump(); }
 
+migration::MigrationProgress UdrNf::StartDecommission(int se_index) {
+  migration::MigrationPlan plan =
+      migration::MigrationPlanner::PlanDecommission(map_, se_index);
+  if (!plan.empty()) {
+    migration_->EnqueuePlan(plan);
+    metrics_.Add("migration.decommission_plans");
+  }
+  return migration_->Progress();
+}
+
+void UdrNf::SetClusterServing(uint32_t cluster_id, bool serving) {
+  if (cluster_id >= clusters_.size()) return;
+  router_.SetPoaServing(cluster_id, serving);
+  for (ldap::LdapServer* server : clusters_[cluster_id]->balancer().servers()) {
+    server->set_healthy(serving);
+  }
+  metrics_.Add(serving ? "cluster.restored" : "cluster.drained");
+}
+
 // ---------------------------------------------------------------------------
 // Heat tier: runtime partition split / merge
 // ---------------------------------------------------------------------------

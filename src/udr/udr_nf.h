@@ -196,6 +196,15 @@ class UdrNf : public ldap::LdapBackend {
   /// both the PoA dispatch windows and background migration.
   void PumpMigration();
 
+  /// Decommissions one storage element's primary copies in ONE planner call:
+  /// every partition it primary-hosts becomes a background migration task
+  /// toward the least-loaded remaining SE (spread-aware). The drain proceeds
+  /// as PumpMigration affords it — throttled under a bandwidth cap, inline
+  /// when unthrottled — and no acknowledged write is lost at any cutover.
+  /// The SE keeps its secondary copies (replica-membership changes are a
+  /// follow-on). Returns the scheduler's progress snapshot after planning.
+  migration::MigrationProgress StartDecommission(int se_index);
+
   /// Progress snapshot of the background migration scheduler.
   migration::MigrationProgress MigrationStatus() const {
     return migration_->Progress();
@@ -371,6 +380,14 @@ class UdrNf : public ldap::LdapBackend {
   }
 
   // -- Maintenance ------------------------------------------------------------------
+
+  /// Takes a whole cluster's front end out of (or back into) service: its
+  /// PoA leaves the router's client rotation and its LDAP farm goes
+  /// unhealthy, so clients transparently fail over to the next-nearest PoA.
+  /// Storage replica state is untouched — a full site loss pairs this with
+  /// CrashReplica on every copy the cluster's SEs host (and the replica
+  /// sets' own failover detection promotes surviving secondaries).
+  void SetClusterServing(uint32_t cluster_id, bool serving);
 
   /// Lets every slave copy apply all deliverable replication entries.
   void CatchUpAllPartitions() { map_.CatchUpAll(); }

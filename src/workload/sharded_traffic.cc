@@ -7,11 +7,13 @@
 
 namespace udr::workload {
 
-ShardedTrafficReport RunShardedTraffic(const TrafficOptions& opts) {
+ShardedTrafficReport RunShardedTraffic(const TrafficOptions& opts,
+                                       const routing::PartitionMap* slice_map) {
   exec::ShardRuntimeOptions ro;
   ro.num_shards = opts.num_shards;
   ro.shard.total_subscribers = opts.subscriber_count;
   ro.shard.seed = opts.seed;
+  ro.slice_map = slice_map;
 
   exec::ShardRuntime runtime(ro);
   runtime.Start();

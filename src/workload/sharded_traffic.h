@@ -33,7 +33,15 @@ struct ShardedTrafficReport {
 /// Runs `opts.sharded_total_ops` operations over `opts.num_shards` shard
 /// threads and verifies final per-subscriber state. Uses subscriber_count,
 /// seed, num_shards and the sharded_* knobs of `opts`.
-ShardedTrafficReport RunShardedTraffic(const TrafficOptions& opts);
+///
+/// `slice_map` (optional) switches the slicer to partition-aligned mode:
+/// shard slices follow that real routing::PartitionMap — a shard owns whole
+/// partitions — which is how the scenario harness runs its storm sharded
+/// against the same placement as its single-threaded data path. The map must
+/// stay structurally unmutated for the duration of the run.
+ShardedTrafficReport RunShardedTraffic(
+    const TrafficOptions& opts,
+    const routing::PartitionMap* slice_map = nullptr);
 
 }  // namespace udr::workload
 

@@ -16,7 +16,11 @@
 #include "exec/shard.h"
 #include "exec/shard_runtime.h"
 #include "exec/spsc_queue.h"
+#include "location/identity.h"
+#include "routing/partition_map.h"
+#include "telecom/subscriber.h"
 #include "workload/sharded_traffic.h"
+#include "workload/testbed.h"
 
 namespace udr::exec {
 namespace {
@@ -145,6 +149,43 @@ TEST(ShardTest, SubscriberShardingIsTotalAndBalanced) {
   EXPECT_EQ(Shard::ShardOfSubscriber(123, 1), 0);
 }
 
+TEST(ShardSlicerTest, PartitionAlignedShardOwnsWholePartitions) {
+  // The scenario-harness contract: sliced against a real PartitionMap, a
+  // shard's subscriber set is a union of whole partitions — every subscriber
+  // maps to the shard that owns its actual partition, never across it.
+  workload::TestbedOptions to;
+  to.sites = 2;
+  to.subscribers = 300;
+  to.udr.se_per_cluster = 2;
+  to.udr.partitions_per_se = 2;
+  workload::Testbed bed(to);
+  const routing::PartitionMap& map = bed.udr().partition_map();
+  constexpr int kShards = 3;
+  ShardSlicer slicer(&map, kShards);
+  EXPECT_TRUE(slicer.partition_aligned());
+
+  telecom::SubscriberFactory factory(0);
+  for (uint64_t sub = 0; sub < 300; ++sub) {
+    const location::Identity id{location::IdentityType::kImsi,
+                                factory.ImsiOf(sub)};
+    EXPECT_EQ(slicer.ShardOf(sub),
+              slicer.ShardOfPartition(map.PartitionOfIdentity(id)))
+        << "subscriber " << sub << " crossed its partition's shard";
+  }
+
+  // Round-robin deal: 2 sites x 2 SEs x 2 partitions = 8 live partitions
+  // spread over 3 shards, so every shard owns at least two.
+  std::vector<int> owned(kShards, 0);
+  for (uint32_t p = 0; p < map.partition_count(); ++p) {
+    if (map.partition_retired(p)) continue;
+    const int shard = slicer.ShardOfPartition(p);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, kShards);
+    ++owned[shard];
+  }
+  for (int s = 0; s < kShards; ++s) EXPECT_GE(owned[s], 2) << "shard " << s;
+}
+
 // ---------------------------------------------------------------------------
 // Sharded runtime end to end
 // ---------------------------------------------------------------------------
@@ -194,6 +235,37 @@ TEST(ShardRuntimeTest, ShardedMatchesSingleShardFinalState) {
   EXPECT_EQ(single.verified_subscribers, sharded.verified_subscribers);
   // Both verified against the same driver-side expected sequence, so equal
   // verified counts with zero mismatches IS state equivalence.
+}
+
+TEST(ShardRuntimeTest, PartitionAlignedShardingRunsUnderScenarioMap) {
+  // Regression for the scenario-harness integration: sharded mode sliced
+  // from a real PartitionMap (the same substrate scenario::Engine drives)
+  // must execute a full run with zero order violations and the exact same
+  // end-state guarantee as hash slicing. Workers share one read-only slicer.
+  workload::TestbedOptions to;
+  to.sites = 2;
+  to.seed = 11;
+  to.subscribers = 200;
+  to.udr.se_per_cluster = 2;
+  to.udr.partitions_per_se = 2;
+  workload::Testbed bed(to);
+
+  auto report = workload::RunShardedTraffic(SmallShardedRun(3),
+                                            &bed.udr().partition_map());
+  EXPECT_EQ(report.runtime.shards.size(), 3u);
+  EXPECT_EQ(report.runtime.ops_done, 4000);
+  EXPECT_EQ(report.runtime.ops_failed, 0);
+  EXPECT_EQ(report.runtime.order_violations, 0);
+  EXPECT_EQ(report.seq_mismatches, 0);
+  EXPECT_TRUE(report.ok());
+  // The whole population is provisioned exactly once across the slices: the
+  // shards agreed on partition-aligned ownership with no gap or overlap.
+  int64_t provisioned = 0;
+  for (const auto& shard : report.runtime.shards) {
+    EXPECT_GT(shard.provisioned, 0) << "a shard got no partitions";
+    provisioned += shard.provisioned;
+  }
+  EXPECT_EQ(provisioned, 200);
 }
 
 TEST(ShardRuntimeTest, BackpressureSurvivesTinyRings) {

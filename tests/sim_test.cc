@@ -256,6 +256,76 @@ TEST(NetworkTest, StreamDeliveryUsesClockIndependentSchedule) {
 }
 
 // ---------------------------------------------------------------------------
+// Topology link bandwidth (kill / heal of modelled capacity)
+// ---------------------------------------------------------------------------
+
+TEST(TopologyTest, LinkBandwidthSetSymmetricAndRewritable) {
+  Topology topo(3);
+  // Unmodelled by default.
+  EXPECT_EQ(topo.LinkBandwidthBps(0, 1), 0);
+  topo.SetLinkBandwidth(0, 1, 8 * 1024 * 1024);
+  // Symmetric: either endpoint order reads the same capacity, and the other
+  // links stay unmodelled.
+  EXPECT_EQ(topo.LinkBandwidthBps(0, 1), 8 * 1024 * 1024);
+  EXPECT_EQ(topo.LinkBandwidthBps(1, 0), 8 * 1024 * 1024);
+  EXPECT_EQ(topo.LinkBandwidthBps(0, 2), 0);
+  EXPECT_EQ(topo.LinkBandwidthBps(1, 2), 0);
+  // Re-set = degraded link (kill to a trickle, heal back to full).
+  topo.SetLinkBandwidth(0, 1, 1024);
+  EXPECT_EQ(topo.LinkBandwidthBps(1, 0), 1024);
+  topo.SetLinkBandwidth(0, 1, 8 * 1024 * 1024);
+  EXPECT_EQ(topo.LinkBandwidthBps(0, 1), 8 * 1024 * 1024);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionSchedule under site loss
+// ---------------------------------------------------------------------------
+
+TEST(PartitionScheduleTest, IsolateSiteCutsEveryLinkOfThatSiteOnly) {
+  // The scenario harness models site loss as total isolation: the dead
+  // site's links all sever for [begin, end) while survivor links stay up.
+  PartitionSchedule sched;
+  sched.IsolateSite(1, /*site_count=*/3, Seconds(3), Seconds(9));
+
+  EXPECT_TRUE(sched.Reachable(0, 1, Seconds(3) - 1));
+  EXPECT_FALSE(sched.Reachable(0, 1, Seconds(3)));  // Half-open: begin cut.
+  EXPECT_FALSE(sched.Reachable(1, 0, Seconds(5)));  // Symmetric.
+  EXPECT_FALSE(sched.Reachable(2, 1, Seconds(5)));
+  EXPECT_TRUE(sched.Reachable(0, 2, Seconds(5)));   // Survivors unaffected.
+  EXPECT_TRUE(sched.Reachable(1, 1, Seconds(5)));   // Site LAN never cut.
+  EXPECT_TRUE(sched.Reachable(0, 1, Seconds(9)));   // Half-open: end heals.
+
+  EXPECT_EQ(sched.HealTime(0, 1, Seconds(5)), Seconds(9));
+  EXPECT_EQ(sched.OutageWithin(0, 1, Seconds(0), Seconds(12)), Seconds(6));
+}
+
+TEST(PartitionScheduleTest, DeliveryDefersAcrossSiteLossAndHeals) {
+  // Stream transport (replication log shipping) sent into a dead site is
+  // delivered at heal + latency, not dropped — the basis of the harness's
+  // zero-acked-write-loss audit after RestoreSite.
+  PartitionSchedule sched;
+  sched.IsolateSite(1, 3, Seconds(3), Seconds(9));
+  const MicroDuration lat = Millis(10);
+  EXPECT_EQ(sched.DeliveryTime(0, 1, Seconds(1), lat), Seconds(1) + lat);
+  EXPECT_EQ(sched.DeliveryTime(0, 1, Seconds(4), lat), Seconds(9) + lat);
+  EXPECT_EQ(sched.DeliveryTime(0, 1, Seconds(9), lat), Seconds(9) + lat);
+  EXPECT_EQ(sched.DeliveryTime(0, 2, Seconds(4), lat), Seconds(4) + lat);
+}
+
+TEST(PartitionScheduleTest, CutBetweenSeversGroupPairsLikeTheHarness) {
+  // scenario::Engine installs inter-site partitions as CutBetween({0},{1,2}):
+  // the minority side loses both backbone links, the majority pair keeps its
+  // own.
+  PartitionSchedule sched;
+  sched.CutBetween({0}, {1, 2}, Seconds(3), Seconds(8));
+  EXPECT_FALSE(sched.Reachable(0, 1, Seconds(4)));
+  EXPECT_FALSE(sched.Reachable(0, 2, Seconds(4)));
+  EXPECT_TRUE(sched.Reachable(1, 2, Seconds(4)));
+  EXPECT_TRUE(sched.Reachable(0, 1, Seconds(8)));
+  EXPECT_EQ(sched.HealTime(0, 2, Seconds(4)), Seconds(8));
+}
+
+// ---------------------------------------------------------------------------
 // Scheduler
 // ---------------------------------------------------------------------------
 
