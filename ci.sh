@@ -1,32 +1,150 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (build + ctest), a Release (-O2) build that
-# smoke-runs every benchmark (1 timing iteration + the self-checking tables,
-# so benches can't silently rot), an ASan/UBSan build of the test suite, and
-# a TSan build that runs the sharded-execution tests (exec_test).
-# Usage: ./ci.sh [--skip-sanitizers]
+# CI entry point. Stages:
+#   invariant-lint     repo invariant linter (tools/lint_invariants.py)
+#   tier1-build/ctest  RelWithDebInfo build + full test suite (includes the
+#                      UDR_DEADLOCK_CHECK lock-order checker + its death test)
+#   thread-safety      clang -Wthread-safety -Werror build of the whole tree
+#                      (the annotated locking layer's compile-time gate)
+#   clang-tidy         bugprone/concurrency/performance checks over src/
+#   bench-smoke        Release (-O2) build, every benchmark 1 iteration, all
+#                      self-checking tables must pass, bench JSONs must be
+#                      emitted, tracked top-level BENCH_*.json refreshed
+#   asan-ubsan         Debug+ASan/UBSan ctest (-LE slow)
+#   tsan               ThreadSanitizer over the concurrent surface: exec_test,
+#                      scenario_smoke, heat_test, migration_test
+#
+# Usage: ./ci.sh [--skip-sanitizers] [--skip-clang]
+#   --skip-clang       skip the two clang-only stages (gcc-only hosts). They
+#                      are also auto-skipped, loudly, when clang/clang-tidy
+#                      are not installed — every other gate still runs.
 set -euo pipefail
 
 cd "$(dirname "$0")"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "== tier-1: configure + build =="
+SKIP_SANITIZERS=0
+SKIP_CLANG=0
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-sanitizers) SKIP_SANITIZERS=1 ;;
+    --skip-clang) SKIP_CLANG=1 ;;
+    *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+# ---- per-stage summary ------------------------------------------------------
+# Every stage reports one line at exit so a failed run is attributable at a
+# glance. A stage in state "RUN " at exit time is the one that failed.
+STAGE_NAMES=()
+STAGE_STATES=()
+CURRENT_STAGE=""
+begin_stage() {
+  CURRENT_STAGE="$1"
+  STAGE_NAMES+=("$1")
+  STAGE_STATES+=("FAIL")  # Overwritten by pass_stage/skip_stage.
+  echo ""
+  echo "== ${1} =="
+}
+mark_stage() {  # $1 = state
+  local i=$((${#STAGE_STATES[@]} - 1))
+  STAGE_STATES[i]="$1"
+}
+pass_stage() { mark_stage "PASS"; }
+skip_stage() { mark_stage "SKIP"; echo "-- skipped: $1"; }
+print_summary() {
+  echo ""
+  echo "== ci.sh stage summary =="
+  local i
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-18s %s\n' "${STAGE_NAMES[i]}" "${STAGE_STATES[i]}"
+  done
+}
+trap print_summary EXIT
+
+# Every bench target the smoke stage requires to exist (the glob below runs
+# whatever is built, but a bench silently falling out of the build is a CI
+# failure — and tools/lint_invariants.py cross-checks this list against
+# bench/bench_*.cc, so adding a bench without listing it here fails the lint).
+REQUIRED_BENCHES=(
+  bench_ablation
+  bench_batch_pipeline
+  bench_capacity
+  bench_coalescer
+  bench_fr_tradeoff
+  bench_frash_summary
+  bench_heat_tier
+  bench_latency
+  bench_location_stage
+  bench_migration
+  bench_multimaster
+  bench_partition_availability
+  bench_pre_udc
+  bench_ps_backlog
+  bench_record_layout
+  bench_replication_modes
+  bench_scaleout
+  bench_scenarios
+  bench_selective_placement
+  bench_sharded_scale
+  bench_stale_reads
+)
+
+# ---- invariant-lint ---------------------------------------------------------
+begin_stage "invariant-lint"
+python3 tools/lint_invariants.py .
+pass_stage
+
+# ---- tier-1 -----------------------------------------------------------------
+begin_stage "tier1-build"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "${JOBS}"
+pass_stage
 
-echo "== tier-1: ctest =="
+begin_stage "tier1-ctest"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
+pass_stage
 
-echo "== Release (-O2): configure + build benches =="
+# ---- clang gates ------------------------------------------------------------
+CLANGXX="$(command -v clang++ || true)"
+CLANG_TIDY="$(command -v clang-tidy || true)"
+
+begin_stage "thread-safety"
+if [[ "${SKIP_CLANG}" == 1 ]]; then
+  skip_stage "--skip-clang"
+elif [[ -z "${CLANGXX}" ]]; then
+  skip_stage "clang++ not installed (install clang or pass --skip-clang to silence)"
+else
+  # Whole tree under clang with the thread-safety analysis promoted to
+  # errors: any GUARDED_BY/REQUIRES/ACQUIRE violation fails the build.
+  cmake -B build-clang-tsafe -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_COMPILER="${CLANGXX}" -DUDR_WTHREAD_SAFETY=ON
+  cmake --build build-clang-tsafe -j "${JOBS}"
+  pass_stage
+fi
+
+begin_stage "clang-tidy"
+if [[ "${SKIP_CLANG}" == 1 ]]; then
+  skip_stage "--skip-clang"
+elif [[ -z "${CLANG_TIDY}" ]]; then
+  skip_stage "clang-tidy not installed (install clang-tidy or pass --skip-clang to silence)"
+else
+  # Use the clang build's compile_commands.json when present (exact flags),
+  # else the tier-1 build's (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+  TIDY_BUILD="build-clang-tsafe"
+  [[ -f "${TIDY_BUILD}/compile_commands.json" ]] || TIDY_BUILD="build"
+  mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+  "${CLANG_TIDY}" -p "${TIDY_BUILD}" --quiet "${TIDY_SOURCES[@]}"
+  pass_stage
+fi
+
+# ---- bench smoke (Release) --------------------------------------------------
+begin_stage "bench-build"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "${JOBS}"
+pass_stage
 
-echo "== Release: benchmark smoke (1 iteration each) =="
-# The loop globs every bench target, but the self-checking ones the
-# acceptance gates ride on must exist (a glob would silently skip a bench
-# that fell out of the build).
-for required in bench_batch_pipeline bench_coalescer bench_heat_tier \
-                bench_migration bench_record_layout bench_scenarios \
-                bench_sharded_scale; do
+begin_stage "bench-smoke"
+for required in "${REQUIRED_BENCHES[@]}"; do
   if [[ ! -x "build-release/bench/${required}" ]]; then
     echo "SMOKE FAILED: required benchmark ${required} was not built"
     exit 1
@@ -72,33 +190,51 @@ for json in "${UDR_BENCH_JSON_PATH}" "${UDR_BENCH_RECORD_LAYOUT_JSON}" \
     exit 1
   fi
 done
+# Refresh the tracked top-level copies from the fresh run so they can never
+# drift stale relative to the code (git diff surfaces the delta for review).
+for tracked in BENCH_*.json; do
+  [[ -f "${tracked}" ]] || continue
+  if [[ -s "build-release/${tracked}" ]]; then
+    if ! cmp -s "build-release/${tracked}" "${tracked}"; then
+      echo "-- refreshing tracked ${tracked} from this run"
+      cp "build-release/${tracked}" "${tracked}"
+    fi
+  fi
+done
 echo "== benchmark smoke: all green (bench JSON files emitted) =="
+pass_stage
 
-if [[ "${1:-}" == "--skip-sanitizers" ]]; then
-  echo "== sanitizers skipped =="
-  exit 0
+# ---- sanitizers -------------------------------------------------------------
+begin_stage "asan-ubsan"
+if [[ "${SKIP_SANITIZERS}" == 1 ]]; then
+  skip_stage "--skip-sanitizers"
+else
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DUDR_SANITIZE=ON
+  cmake --build build-asan -j "${JOBS}"
+  # Fast subset (-LE slow): covers the whole suite, in particular the batched
+  # data path + coalescing window tests (batch_test, coalescer_test) whose
+  # enqueue/demux paths move the most state around. The full standard
+  # scenarios (LABELS slow) run in the un-instrumented tier-1 stage.
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -LE slow
+  pass_stage
 fi
 
-echo "== ASan/UBSan: configure + build =="
-cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DUDR_SANITIZE=ON
-cmake --build build-asan -j "${JOBS}"
+begin_stage "tsan"
+if [[ "${SKIP_SANITIZERS}" == 1 ]]; then
+  skip_stage "--skip-sanitizers"
+else
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUDR_TSAN=ON
+  cmake --build build-tsan -j "${JOBS}"
+  # The dynamic checker runs over every layer the thread-safety annotations
+  # describe: the sharded execution mode (exec_test: SPSC handoff, lock-free
+  # AttrPool reads, metrics merging) plus the scenario/heat/migration layers
+  # whose structures now carry annotated guards.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
+      -R 'exec_test|scenario_smoke|heat_test|migration_test' -LE slow
+  pass_stage
+fi
 
-echo "== ASan/UBSan: ctest (fast subset: -LE slow) =="
-# Covers the whole suite, in particular the batched data path + coalescing
-# window tests (batch_test, coalescer_test) whose enqueue/demux paths move
-# the most state around. The full standard scenarios (LABELS slow) run in
-# the un-instrumented tier-1 stage; the scenario smoke subset stays in here.
-ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-asan --output-on-failure -j "${JOBS}" -LE slow
-
-echo "== TSan: configure + build =="
-cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUDR_TSAN=ON
-cmake --build build-tsan -j "${JOBS}"
-
-echo "== TSan: sharded execution tests =="
-# The multi-threaded surface: SPSC handoff queues, the lock-free AttrPool
-# read path, per-shard metrics merging, and the shard runtime itself.
-TSAN_OPTIONS=halt_on_error=1 \
-  ctest --test-dir build-tsan -R exec_test --output-on-failure
-
+echo ""
 echo "== ci.sh: all green =="

@@ -1,0 +1,171 @@
+#include "common/mutex.h"
+
+#if defined(UDR_DEADLOCK_CHECK)
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace udr::common::lockorder {
+namespace {
+
+// One directed edge "held -> acquired" with the held-lock stack captured the
+// first time the edge was established — that stack is the "other side" of an
+// inversion report.
+struct Edge {
+  std::vector<std::string> stack;  ///< Held names (oldest first) + acquired.
+};
+
+struct Graph {
+  // Raw std::mutex on purpose: the graph lock is the checker's own leaf lock
+  // and must not recurse into common::Mutex bookkeeping.
+  std::mutex mu;
+  std::map<std::string, std::map<std::string, Edge>> edges;  ///< from -> to.
+};
+
+// Leaked function-local singleton: checker state must outlive every static
+// Mutex in the process.
+Graph& G() {
+  static Graph* g = new Graph();
+  return *g;
+}
+
+// The calling thread's currently-held lock names, oldest first. Stores the
+// name pointers handed to Mutex (string literals), so no allocation on the
+// leaf-lock fast path.
+thread_local std::vector<const char*> t_held;
+
+// Is `to` reachable from `from` along recorded edges? Iterative DFS; called
+// with G().mu held.
+bool Reachable(const std::string& from, const std::string& to,
+               const std::map<std::string, std::map<std::string, Edge>>& edges,
+               std::vector<std::string>* path) {
+  if (from == to) {
+    path->push_back(from);
+    return true;
+  }
+  std::set<std::string> visited;
+  std::vector<std::pair<std::string, std::vector<std::string>>> stack;
+  stack.emplace_back(from, std::vector<std::string>{from});
+  while (!stack.empty()) {
+    auto [node, p] = std::move(stack.back());
+    stack.pop_back();
+    if (!visited.insert(node).second) continue;
+    auto it = edges.find(node);
+    if (it == edges.end()) continue;
+    for (const auto& [next, edge] : it->second) {
+      (void)edge;
+      std::vector<std::string> np = p;
+      np.push_back(next);
+      if (next == to) {
+        *path = std::move(np);
+        return true;
+      }
+      stack.emplace_back(next, std::move(np));
+    }
+  }
+  return false;
+}
+
+void AppendStack(std::string* out, const std::vector<std::string>& names) {
+  *out += '[';
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i) *out += " -> ";
+    *out += names[i];
+  }
+  *out += ']';
+}
+
+[[noreturn]] void ReportInversion(const char* acquiring,
+                                  const std::vector<std::string>& cycle_path,
+                                  const Edge& first_edge) {
+  std::string msg =
+      "[udr-deadlock-check] lock-order inversion: acquiring \"";
+  msg += acquiring;
+  msg += "\" while holding ";
+  std::vector<std::string> held(t_held.begin(), t_held.end());
+  AppendStack(&msg, held);
+  msg += "\n  this acquisition needs the order ";
+  std::vector<std::string> want;
+  want.push_back(cycle_path.back());  // The held lock the cycle reaches.
+  want.push_back(acquiring);
+  AppendStack(&msg, want);
+  msg += "\n  but the opposite order ";
+  AppendStack(&msg, cycle_path);
+  msg += " was established earlier with held stack ";
+  AppendStack(&msg, first_edge.stack);
+  msg += "\n  (a schedule interleaving the two acquisition orders deadlocks)\n";
+  std::fputs(msg.c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const char* name) {
+  if (t_held.empty()) {
+    // Leaf acquisition: no held locks means no new ordering edges and no
+    // possible cycle — skip the global graph entirely.
+    t_held.push_back(name);
+    return;
+  }
+  Graph& g = G();
+  std::lock_guard<std::mutex> lock(g.mu);
+  const std::string acquiring(name);
+  // A cycle exists iff some held lock is reachable FROM the acquiring one:
+  // the recorded order says acquiring-before-held, this thread is doing
+  // held-before-acquiring.
+  for (const char* held : t_held) {
+    std::vector<std::string> path;
+    if (Reachable(acquiring, held, g.edges, &path)) {
+      // First edge of the recorded (conflicting) path carries the stack
+      // captured when that order was established.
+      const Edge& first = g.edges[path[0]][path.size() > 1 ? path[1] : path[0]];
+      ReportInversion(name, path, first);
+    }
+  }
+  for (const char* held : t_held) {
+    auto& edge = g.edges[held];
+    if (edge.find(acquiring) == edge.end()) {
+      Edge e;
+      for (const char* h : t_held) e.stack.emplace_back(h);
+      e.stack.push_back(acquiring);
+      edge.emplace(acquiring, std::move(e));
+    }
+  }
+  t_held.push_back(name);
+}
+
+void OnTryAcquire(const char* name) { t_held.push_back(name); }
+
+void OnRelease(const char* name) {
+  // Locks are almost always released LIFO, so scan from the back; same-name
+  // locks release the most recent acquisition, which is the right stack
+  // semantics for the graph.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == name ||
+        std::string_view(*it) == std::string_view(name)) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+int HeldCount() { return static_cast<int>(t_held.size()); }
+
+}  // namespace udr::common::lockorder
+
+#else
+
+// UDR_DEADLOCK_CHECK off: mutex.h is header-only; keep the TU non-empty.
+namespace udr::common {
+namespace {
+[[maybe_unused]] constexpr int kDeadlockCheckDisabled = 0;
+}  // namespace
+}  // namespace udr::common
+
+#endif  // UDR_DEADLOCK_CHECK

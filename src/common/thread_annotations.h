@@ -1,0 +1,82 @@
+// Clang thread-safety analysis attribute macros (the canonical set from the
+// clang documentation / Abseil). Annotating a mutex-guarded structure with
+// these turns its locking discipline into a compiler-checked contract: build
+// with clang and -Wthread-safety (CMake option UDR_WTHREAD_SAFETY) and any
+// access to a GUARDED_BY member without its mutex held, any REQUIRES
+// violation, or any ACQUIRE/RELEASE imbalance is a compile error.
+//
+// Under gcc (or any non-clang compiler) every macro expands to nothing, so
+// the annotations cost zero and the tree builds identically; the analysis
+// runs as a dedicated ci.sh stage on clang hosts.
+//
+// Usage rules for this repo (see ARCHITECTURE.md "Concurrency contracts"):
+//   * every shared mutable member is GUARDED_BY its mutex;
+//   * lock with common::MutexLock (SCOPED_CAPABILITY RAII), not bare
+//     Lock()/Unlock() pairs;
+//   * NO_THREAD_SAFETY_ANALYSIS is allowed only with an inline comment
+//     justifying why the analysis cannot see the invariant (and the
+//     invariant itself).
+
+#ifndef UDR_COMMON_THREAD_ANNOTATIONS_H_
+#define UDR_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define UDR_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define UDR_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "role", ...).
+#define CAPABILITY(x) UDR_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY UDR_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Member data protected by the given capability.
+#define GUARDED_BY(x) UDR_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) UDR_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Declares a required lock acquisition order between capabilities.
+#define ACQUIRED_BEFORE(...) UDR_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) UDR_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// The function must be called with the capabilities held (and does not
+/// release them).
+#define REQUIRES(...) UDR_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  UDR_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) UDR_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  UDR_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a held capability.
+#define RELEASE(...) UDR_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  UDR_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// The function tries to acquire and reports success via its return value.
+#define TRY_ACQUIRE(...) \
+  UDR_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  UDR_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the capability held (it acquires it
+/// internally — calling with it held would self-deadlock).
+#define EXCLUDES(...) UDR_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime) that the capability is held; informs the analysis.
+#define ASSERT_CAPABILITY(x) UDR_THREAD_ANNOTATION__(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) UDR_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Opt a function out of the analysis. Allowed ONLY with an inline
+/// justification comment (enforced by review; see tools/LINT_ALLOWLIST.md).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  UDR_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // UDR_COMMON_THREAD_ANNOTATIONS_H_

@@ -115,6 +115,17 @@ class ShardRuntime {
  private:
   void WorkerLoop(int index);
 
+  // Concurrency contract (thread confinement, not locks — nothing here is
+  // GUARDED_BY because nothing is shared mutable while threads run):
+  //   * opts_, slicer_, queues_ are frozen before Start() spawns workers and
+  //     only read afterwards (the queue OBJECTS are shared; their internal
+  //     SPSC discipline is enforced in spsc_queue.h);
+  //   * shards_[i] and busy_ns_[i] are written only by worker i, and read by
+  //     the driver only after Finish() joined that worker (the join is the
+  //     happens-before edge);
+  //   * submitted_, start_wall_ns_, finished_, report_ are driver-thread
+  //     only (construct/Submit/Finish all happen on the driver);
+  //   * ready_ and done_ are the cross-thread signals, acquire/release.
   ShardRuntimeOptions opts_;
   std::unique_ptr<ShardSlicer> slicer_;  ///< Built once num_shards is final.
   std::vector<std::unique_ptr<SpscQueue<ShardBatch>>> queues_;
@@ -123,10 +134,10 @@ class ShardRuntime {
   std::vector<int64_t> busy_ns_;  ///< Per-worker, written before join.
   std::atomic<int> ready_{0};
   std::atomic<bool> done_{false};
-  int64_t submitted_ = 0;
-  int64_t start_wall_ns_ = 0;
-  bool finished_ = false;
-  ShardRuntimeReport report_;
+  int64_t submitted_ = 0;   ///< Driver thread only.
+  int64_t start_wall_ns_ = 0;  ///< Driver thread only.
+  bool finished_ = false;   ///< Driver thread only.
+  ShardRuntimeReport report_;  ///< Driver thread only (post-join).
 };
 
 }  // namespace udr::exec

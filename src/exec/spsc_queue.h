@@ -5,6 +5,19 @@
 // producer and one consumer only — that restriction is what lets the ring run
 // on two atomic indices with no locks, and it encodes the shard-confinement
 // invariant: batches never cross shards except through an explicit handoff.
+//
+// Concurrency contract (no mutex, so no GUARDED_BY — the discipline is
+// role-based and checked two ways):
+//   * TryPush() may only ever be called by ONE thread (the producer role),
+//     TryPop() only ever by ONE thread (the consumer role). The roles bind
+//     to the first thread that calls each side; under UDR_DEADLOCK_CHECK
+//     (debug/sanitizer builds) a call from any other thread aborts with a
+//     diagnostic — the static analog of the TSan race the violation would
+//     eventually cause.
+//   * slots_[i] is published producer->consumer by the release store of
+//     tail_ and the consumer's acquire load of it; head_ symmetrically
+//     returns slot ownership consumer->producer. SizeApprox() is a racy
+//     monitoring estimate, callable from anywhere.
 
 #ifndef UDR_EXEC_SPSC_QUEUE_H_
 #define UDR_EXEC_SPSC_QUEUE_H_
@@ -14,6 +27,13 @@
 #include <cstdint>
 #include <utility>
 #include <vector>
+
+#if defined(UDR_DEADLOCK_CHECK)
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#endif
 
 namespace udr::exec {
 
@@ -31,8 +51,12 @@ class SpscQueue {
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
-  /// Producer side. Returns false when the ring is full.
+  /// Producer side. Returns false when the ring is full. Single producer:
+  /// the first calling thread owns this side for the queue's lifetime.
   bool TryPush(T&& value) {
+#if defined(UDR_DEADLOCK_CHECK)
+    CheckOwner(&producer_tid_, "producer (TryPush)");
+#endif
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     const uint64_t head = head_.load(std::memory_order_acquire);
     if (tail - head > mask_) return false;
@@ -41,8 +65,12 @@ class SpscQueue {
     return true;
   }
 
-  /// Consumer side. Returns false when the ring is empty.
+  /// Consumer side. Returns false when the ring is empty. Single consumer:
+  /// the first calling thread owns this side for the queue's lifetime.
   bool TryPop(T* out) {
+#if defined(UDR_DEADLOCK_CHECK)
+    CheckOwner(&consumer_tid_, "consumer (TryPop)");
+#endif
     const uint64_t head = head_.load(std::memory_order_relaxed);
     const uint64_t tail = tail_.load(std::memory_order_acquire);
     if (head == tail) return false;
@@ -51,7 +79,7 @@ class SpscQueue {
     return true;
   }
 
-  /// Racy size estimate (monitoring only).
+  /// Racy size estimate (monitoring only; any thread).
   size_t SizeApprox() const {
     const uint64_t tail = tail_.load(std::memory_order_acquire);
     const uint64_t head = head_.load(std::memory_order_acquire);
@@ -61,10 +89,39 @@ class SpscQueue {
   size_t capacity() const { return mask_ + 1; }
 
  private:
+#if defined(UDR_DEADLOCK_CHECK)
+  static uint64_t ThisThreadId() {
+    uint64_t id = static_cast<uint64_t>(
+        std::hash<std::thread::id>()(std::this_thread::get_id()));
+    return id == 0 ? 1 : id;  // 0 is the "unclaimed" sentinel.
+  }
+
+  /// Binds `owner` to the first calling thread; aborts on any other thread.
+  static void CheckOwner(std::atomic<uint64_t>* owner, const char* side) {
+    const uint64_t me = ThisThreadId();
+    uint64_t expected = 0;
+    if (owner->compare_exchange_strong(expected, me,
+                                       std::memory_order_relaxed) ||
+        expected == me) {
+      return;
+    }
+    std::fprintf(stderr,
+                 "[udr-spsc-check] SpscQueue %s side used from two threads "
+                 "— SPSC contract violation\n",
+                 side);
+    std::fflush(stderr);
+    std::abort();
+  }
+#endif
+
   std::vector<T> slots_;
   size_t mask_ = 0;
   alignas(64) std::atomic<uint64_t> head_{0};  ///< Consumer cursor.
   alignas(64) std::atomic<uint64_t> tail_{0};  ///< Producer cursor.
+#if defined(UDR_DEADLOCK_CHECK)
+  std::atomic<uint64_t> producer_tid_{0};  ///< First TryPush caller.
+  std::atomic<uint64_t> consumer_tid_{0};  ///< First TryPop caller.
+#endif
 };
 
 }  // namespace udr::exec

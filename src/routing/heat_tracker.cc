@@ -19,6 +19,7 @@ double HeatTracker::Decay(MicroDuration dt) const {
 
 void HeatTracker::RecordAccess(uint32_t partition, storage::RecordKey key,
                                MicroTime now) {
+  common::MutexLock lock(mu_);
   ++total_;
 
   if (partitions_.size() <= partition) partitions_.resize(partition + 1);
@@ -53,18 +54,24 @@ void HeatTracker::RecordAccess(uint32_t partition, storage::RecordKey key,
 }
 
 double HeatTracker::PartitionHeat(uint32_t partition, MicroTime now) const {
+  common::MutexLock lock(mu_);
   if (partition >= partitions_.size()) return 0.0;
   const PartitionState& p = partitions_[partition];
   return p.heat * Decay(now - p.last);
 }
 
 int64_t HeatTracker::KeyCount(storage::RecordKey key) const {
+  common::MutexLock lock(mu_);
   auto it = index_.find(key);
   return it == index_.end() ? 0 : sketch_[it->second].count;
 }
 
 std::vector<HeatTracker::HotKey> HeatTracker::TopKeys(size_t n) const {
-  std::vector<HotKey> out = sketch_;
+  std::vector<HotKey> out;
+  {
+    common::MutexLock lock(mu_);
+    out = sketch_;
+  }
   std::sort(out.begin(), out.end(), [](const HotKey& a, const HotKey& b) {
     if (a.count != b.count) return a.count > b.count;
     return a.key < b.key;  // Deterministic tie-break.

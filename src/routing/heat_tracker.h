@@ -11,6 +11,11 @@
 //
 // Both are O(1) amortized per access and fully deterministic: decay runs on
 // the simulation clock, never on wall time.
+//
+// Thread safety: sketch + partition heat are guarded by mu_ (annotated
+// common::Mutex). Each router's tracker is shard-confined today, so the
+// lock is uncontended; the guard is what lets the upcoming multi-master
+// write routing sample heat from more than one thread without a rework.
 
 #ifndef UDR_ROUTING_HEAT_TRACKER_H_
 #define UDR_ROUTING_HEAT_TRACKER_H_
@@ -19,6 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/time.h"
 #include "storage/record.h"
 
@@ -39,17 +46,18 @@ class HeatTracker {
   explicit HeatTracker(HeatTrackerConfig config = {});
 
   /// Samples one routed access. Called from the router's resolve stage on
-  /// every op of Route/RouteBatch — must stay cheap.
-  void RecordAccess(uint32_t partition, storage::RecordKey key, MicroTime now);
+  /// every op of Route/RouteBatch — must stay cheap (one uncontended lock).
+  void RecordAccess(uint32_t partition, storage::RecordKey key, MicroTime now)
+      EXCLUDES(mu_);
 
   /// Decayed access count of `partition` as of `now` (0 for partitions never
   /// seen). Does not mutate state.
-  double PartitionHeat(uint32_t partition, MicroTime now) const;
+  double PartitionHeat(uint32_t partition, MicroTime now) const EXCLUDES(mu_);
 
   /// Estimated access count of `key`; 0 when the sketch is not tracking it.
   /// The space-saving guarantee: any key with true count above the smallest
   /// tracked count is present.
-  int64_t KeyCount(storage::RecordKey key) const;
+  int64_t KeyCount(storage::RecordKey key) const EXCLUDES(mu_);
 
   struct HotKey {
     storage::RecordKey key = 0;
@@ -58,10 +66,16 @@ class HeatTracker {
   };
 
   /// Up to `n` hottest keys, descending by estimated count.
-  std::vector<HotKey> TopKeys(size_t n) const;
+  std::vector<HotKey> TopKeys(size_t n) const EXCLUDES(mu_);
 
-  int64_t total_accesses() const { return total_; }
-  size_t tracked_keys() const { return sketch_.size(); }
+  int64_t total_accesses() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return total_;
+  }
+  size_t tracked_keys() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return sketch_.size();
+  }
 
  private:
   struct PartitionState {
@@ -72,11 +86,14 @@ class HeatTracker {
   /// 2^(-dt/halflife); 1.0 for dt <= 0.
   double Decay(MicroDuration dt) const;
 
-  HeatTrackerConfig config_;
-  std::vector<PartitionState> partitions_;
-  std::vector<HotKey> sketch_;  ///< Unordered; at most config_.top_k entries.
-  std::unordered_map<storage::RecordKey, size_t> index_;  ///< key -> slot.
-  int64_t total_ = 0;
+  HeatTrackerConfig config_;  ///< Immutable after construction.
+  mutable common::Mutex mu_{"routing.heat_tracker"};
+  std::vector<PartitionState> partitions_ GUARDED_BY(mu_);
+  /// Unordered; at most config_.top_k entries.
+  std::vector<HotKey> sketch_ GUARDED_BY(mu_);
+  std::unordered_map<storage::RecordKey, size_t> index_
+      GUARDED_BY(mu_);  ///< key -> slot.
+  int64_t total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace udr::routing

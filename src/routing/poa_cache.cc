@@ -9,6 +9,7 @@ PoaCache::PoaCache(PoaCacheConfig config) : config_(config) {
 
 const storage::Record* PoaCache::Lookup(storage::RecordKey key,
                                         uint32_t partition, uint64_t epoch) {
+  common::MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -30,6 +31,7 @@ const storage::Record* PoaCache::Lookup(storage::RecordKey key,
 
 void PoaCache::Insert(storage::RecordKey key, uint32_t partition,
                       uint64_t epoch, const storage::Record& record) {
+  common::MutexLock lock(mu_);
   const int64_t cost = record.CacheFootprintBytes();
   if (cost > config_.capacity_bytes) return;
 
@@ -48,6 +50,7 @@ void PoaCache::Insert(storage::RecordKey key, uint32_t partition,
 }
 
 bool PoaCache::Invalidate(storage::RecordKey key) {
+  common::MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return false;
   ++invalidations_;
@@ -56,6 +59,7 @@ bool PoaCache::Invalidate(storage::RecordKey key) {
 }
 
 void PoaCache::Clear() {
+  common::MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;

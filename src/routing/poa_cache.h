@@ -22,6 +22,12 @@
 //
 // Capacity is bounded in BYTES (Record::CacheFootprintBytes — payload plus
 // per-entry bookkeeping), evicting least-recently-used entries.
+//
+// Thread safety: all state is guarded by mu_ (annotated common::Mutex).
+// Today each PoA's cache is shard-confined so the lock is uncontended; the
+// guard makes the structure safe to share when the multi-master replication
+// path starts invalidating keys across threads. Lookup() hands out a pointer
+// into the cache — see its contract note.
 
 #ifndef UDR_ROUTING_POA_CACHE_H_
 #define UDR_ROUTING_POA_CACHE_H_
@@ -30,6 +36,8 @@
 #include <list>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/time.h"
 #include "storage/record.h"
 
@@ -51,33 +59,59 @@ class PoaCache {
   /// (partition, epoch) the caller resolved `key` to right now; an entry
   /// from an older epoch or a different partition is silently dropped and
   /// the lookup misses. A hit refreshes LRU position. The pointer stays
-  /// valid until the next mutating call.
+  /// valid until the next mutating call — callers must consume it before
+  /// touching the cache again (the shard-confined dispatch stage does), and
+  /// a future cross-thread sharer must copy under its own coordination.
   const storage::Record* Lookup(storage::RecordKey key, uint32_t partition,
-                                uint64_t epoch);
+                                uint64_t epoch) EXCLUDES(mu_);
 
   /// Inserts (or refreshes) a record copy tagged (partition, epoch),
   /// evicting LRU entries until the byte budget holds. A record bigger than
   /// the whole budget is not admitted.
   void Insert(storage::RecordKey key, uint32_t partition, uint64_t epoch,
-              const storage::Record& record);
+              const storage::Record& record) EXCLUDES(mu_);
 
   /// Drops `key`; returns true when an entry existed. The write path calls
   /// this synchronously for every committed write/delete.
-  bool Invalidate(storage::RecordKey key);
+  bool Invalidate(storage::RecordKey key) EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
-  int64_t bytes() const { return bytes_; }
-  size_t size() const { return index_.size(); }
+  int64_t bytes() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return bytes_;
+  }
+  size_t size() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return index_.size();
+  }
   int64_t capacity_bytes() const { return config_.capacity_bytes; }
   MicroDuration hit_cost() const { return config_.hit_cost; }
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
-  int64_t insertions() const { return insertions_; }
-  int64_t invalidations() const { return invalidations_; }
-  int64_t evictions() const { return evictions_; }
-  int64_t epoch_drops() const { return epoch_drops_; }
+  int64_t hits() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return hits_;
+  }
+  int64_t misses() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return misses_;
+  }
+  int64_t insertions() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return insertions_;
+  }
+  int64_t invalidations() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return invalidations_;
+  }
+  int64_t evictions() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return evictions_;
+  }
+  int64_t epoch_drops() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return epoch_drops_;
+  }
 
  private:
   struct Entry {
@@ -88,18 +122,20 @@ class PoaCache {
     storage::Record record;
   };
 
-  void Erase(std::list<Entry>::iterator it);
+  void Erase(std::list<Entry>::iterator it) REQUIRES(mu_);
 
-  PoaCacheConfig config_;
-  std::list<Entry> lru_;  ///< Front = most recently used.
-  std::unordered_map<storage::RecordKey, std::list<Entry>::iterator> index_;
-  int64_t bytes_ = 0;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t insertions_ = 0;
-  int64_t invalidations_ = 0;
-  int64_t evictions_ = 0;
-  int64_t epoch_drops_ = 0;
+  PoaCacheConfig config_;  ///< Immutable after construction.
+  mutable common::Mutex mu_{"routing.poa_cache"};
+  std::list<Entry> lru_ GUARDED_BY(mu_);  ///< Front = most recently used.
+  std::unordered_map<storage::RecordKey, std::list<Entry>::iterator> index_
+      GUARDED_BY(mu_);
+  int64_t bytes_ GUARDED_BY(mu_) = 0;
+  int64_t hits_ GUARDED_BY(mu_) = 0;
+  int64_t misses_ GUARDED_BY(mu_) = 0;
+  int64_t insertions_ GUARDED_BY(mu_) = 0;
+  int64_t invalidations_ GUARDED_BY(mu_) = 0;
+  int64_t evictions_ GUARDED_BY(mu_) = 0;
+  int64_t epoch_drops_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace udr::routing

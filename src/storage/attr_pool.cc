@@ -26,7 +26,7 @@ AttrPool::Snapshot* AttrPool::BuildSnapshot(const std::deque<std::string>& names
 AttrId AttrPool::Intern(std::string_view name) {
   AttrId id = Lookup(name);
   if (id != kInvalidAttrId) return id;
-  std::lock_guard<std::mutex> lock(write_mu_);
+  common::MutexLock lock(write_mu_);
   id = Lookup(name);  // Raced with another interner?
   if (id != kInvalidAttrId) return id;
   id = static_cast<AttrId>(names_.size());
@@ -39,7 +39,7 @@ AttrId AttrPool::Intern(std::string_view name) {
 }
 
 int64_t AttrPool::PoolBytes() const {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  common::MutexLock lock(write_mu_);
   return pool_bytes_;
 }
 

@@ -23,10 +23,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace udr::storage {
 
@@ -49,7 +51,7 @@ class AttrPool {
   AttrPool();
 
   /// Id of `name`, interning it on first use.
-  AttrId Intern(std::string_view name);
+  AttrId Intern(std::string_view name) EXCLUDES(write_mu_);
 
   /// Id of `name` if already interned, kInvalidAttrId otherwise. Lock-free
   /// and allocation-free — the read-side hot path for attribute lookups
@@ -80,7 +82,7 @@ class AttrPool {
 
   /// Bytes held by the shared name storage (amortized across every record
   /// in the process; reported separately from per-record footprints).
-  int64_t PoolBytes() const;
+  int64_t PoolBytes() const EXCLUDES(write_mu_);
 
  private:
   /// One immutable snapshot: an open-addressed (power-of-two, linear-probe)
@@ -119,16 +121,22 @@ class AttrPool {
 
   static Snapshot* BuildSnapshot(const std::deque<std::string>& names);
 
+  /// The atomic-snapshot publication point. Deliberately NOT GUARDED_BY:
+  /// readers acquire-load it lock-free (the hot path), and ONLY writers —
+  /// who hold write_mu_ — store it. The analysis cannot express a
+  /// "lock-free read / locked write" atomic, so the store-side discipline
+  /// is documented here and enforced by Intern() being the sole store site.
   std::atomic<const Snapshot*> snapshot_;
 
-  mutable std::mutex write_mu_;  ///< Serializes interning only.
+  mutable common::Mutex write_mu_{
+      "storage.attr_pool.write"};  ///< Serializes interning only.
   /// Stable storage: deque never moves existing strings on growth, so every
   /// snapshot's views and the views NameOf() hands out stay valid.
-  std::deque<std::string> names_;
+  std::deque<std::string> names_ GUARDED_BY(write_mu_);
   /// Superseded snapshots, parked until the pool dies (readers may still be
   /// probing them; the attr vocabulary is tiny, so this is bytes, not megs).
-  std::vector<std::unique_ptr<const Snapshot>> retired_;
-  int64_t pool_bytes_ = 0;
+  std::vector<std::unique_ptr<const Snapshot>> retired_ GUARDED_BY(write_mu_);
+  int64_t pool_bytes_ GUARDED_BY(write_mu_) = 0;
 };
 
 /// Convenience wrappers over AttrPool::Global().

@@ -150,7 +150,9 @@ void Record::ForEachAttribute(
   }
 }
 
+// lint:allow(storage-string-map): legacy-form shim, see record.h.
 std::map<std::string, Attribute> Record::ToMap() const {
+  // lint:allow(storage-string-map): legacy-form shim, see record.h.
   std::map<std::string, Attribute> out;
   for (const PackedAttr& e : attrs_) {
     out.emplace(std::string(AttrPool::Global().NameOf(e.name_id)), e.attr);
@@ -158,6 +160,7 @@ std::map<std::string, Attribute> Record::ToMap() const {
   return out;
 }
 
+// lint:allow(storage-string-map): legacy-form shim, see record.h.
 Record Record::FromMap(const std::map<std::string, Attribute>& attrs) {
   Record r;
   for (const auto& [name, attr] : attrs) {

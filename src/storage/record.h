@@ -115,9 +115,13 @@ class Record {
   void ForEachAttribute(
       const std::function<void(std::string_view, const Attribute&)>& fn) const;
 
-  /// Unpacks into the legacy map form (tests / equivalence checks).
+  /// Unpacks into the legacy map form (tests / equivalence checks): a
+  /// deliberate boundary shim — the packed layout's equivalence tests
+  /// round-trip through the legacy form; no storage data path stores it.
+  // lint:allow(storage-string-map): boundary shim, see doc comment above.
   std::map<std::string, Attribute> ToMap() const;
   /// Packs a legacy map form back into a record (version 0).
+  // lint:allow(storage-string-map): same boundary shim as ToMap().
   static Record FromMap(const std::map<std::string, Attribute>& attrs);
 
   uint64_t version() const { return version_; }

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant linter (ci.sh "invariant-lint" stage).
+
+Enforces the invariants that keep this codebase deterministic and its
+concurrency statically checkable — the ones a generic linter can't know:
+
+  wall-clock         src/ must not consult wall time (time(), std::time,
+                     gettimeofday, clock_gettime, std::chrono system/steady/
+                     high_resolution clocks). Every simulated behavior runs on
+                     sim::SimClock; that discipline is what makes scenario
+                     replay byte-identical (scenario_test's seeded-replay
+                     gate). Real-time measurement for *reporting* is allowed
+                     only with an inline justification marker.
+
+  storage-string-map src/storage/ must not declare std::map<std::string, ...>
+                     — the PR 6 packed-layout regression guard. The legacy
+                     map form exists only as an explicitly-marked boundary
+                     shim on Record::ToMap/FromMap.
+
+  raw-mutex          std::mutex / lock_guard / unique_lock / scoped_lock /
+                     condition_variable (and #include <mutex>) are banned
+                     outside src/common/ — all locking goes through the
+                     annotated common::Mutex layer (thread-safety analysis +
+                     the UDR_DEADLOCK_CHECK lock-order checker see only what
+                     flows through the wrappers).
+
+  tsa-escape         NO_THREAD_SAFETY_ANALYSIS requires an adjacent
+                     justification comment (no blanket escape hatches).
+
+  bench-coverage     every bench/bench_*.cc must appear in ci.sh's
+                     REQUIRED_BENCHES list, so a bench falling out of the
+                     build fails CI instead of being silently skipped.
+
+Escape hatch: a line (or the line directly above it) carrying
+    // lint:allow(<rule>): <non-empty reason>
+is exempt from <rule>. Every marker must also be documented in
+tools/LINT_ALLOWLIST.md (rule + file on one table row) — the rationale table
+reviewers audit.
+
+Usage: tools/lint_invariants.py [repo-root]   (exit 0 = clean, 1 = violations)
+"""
+
+import os
+import re
+import sys
+
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)(?::\s*(\S.*))?")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\b"), "clock_gettime()"),
+    (re.compile(r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"),
+     "std::chrono wall/steady clock"),
+    (re.compile(r"std::time\s*\("), "std::time()"),
+    # Bare time( — not preceded by an identifier char, scope/member access.
+    (re.compile(r"(?<![A-Za-z0-9_:.>])time\s*\("), "time()"),
+]
+
+STORAGE_MAP_RE = re.compile(r"std::map<\s*std::string\s*,")
+
+RAW_MUTEX_PATTERNS = [
+    (re.compile(r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+                r"shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+                r"condition_variable_any|condition_variable)\b"),
+     "raw std synchronization primitive (use common::Mutex/MutexLock/CondVar)"),
+    (re.compile(r"#\s*include\s*<(mutex|shared_mutex|condition_variable)>"),
+     "raw sync header include (use common/mutex.h)"),
+]
+
+TSA_ESCAPE_RE = re.compile(r"\bNO_THREAD_SAFETY_ANALYSIS\b")
+
+
+def code_part(line: str) -> str:
+    """Line with string-literal contents blanked and // comments stripped."""
+    return STRING_RE.sub('""', line).split("//")[0]
+
+
+def lint_file(path: str, rel: str, allowlist_doc: str, violations: list):
+    in_common = rel.startswith("src/common/")
+    in_storage = rel.startswith("src/storage/")
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    # Markers on comment-only lines accumulate and bind to the NEXT code
+    # line (so a multi-line justification comment covers the statement it
+    # precedes); a marker on a code line covers that line.
+    pending = set()
+    for lineno, line in enumerate(lines, 1):
+        allows_here = set()
+        for m in ALLOW_RE.finditer(line):
+            rule, reason = m.group(1), m.group(2)
+            if not reason:
+                violations.append(
+                    f"{rel}:{lineno}: [marker] lint:allow({rule}) has no "
+                    f"justification text — write lint:allow({rule}): <why>")
+            if not any(rule in doc_line and rel in doc_line
+                       for doc_line in allowlist_doc.splitlines()):
+                violations.append(
+                    f"{rel}:{lineno}: [marker] lint:allow({rule}) is not "
+                    f"documented in tools/LINT_ALLOWLIST.md (add a table row "
+                    f"naming both the rule and {rel})")
+            allows_here.add(rule)
+
+        code = code_part(line)
+        if not code.strip():
+            pending |= allows_here
+            continue
+        active = allows_here | pending
+        pending = set()
+
+        if "wall-clock" not in active:
+            for pat, what in WALL_CLOCK_PATTERNS:
+                if pat.search(code):
+                    violations.append(
+                        f"{rel}:{lineno}: [wall-clock] {what} — simulated "
+                        f"behavior must use sim::SimClock (deterministic "
+                        f"replay); measurement-only uses need "
+                        f"lint:allow(wall-clock)")
+                    break
+
+        if in_storage and "storage-string-map" not in active:
+            if STORAGE_MAP_RE.search(code):
+                violations.append(
+                    f"{rel}:{lineno}: [storage-string-map] "
+                    f"std::map<std::string, ...> in src/storage/ — the packed "
+                    f"record layout (PR 6) exists to avoid this; use AttrId "
+                    f"keys or mark an explicit boundary shim")
+
+        if not in_common and "raw-mutex" not in active:
+            for pat, what in RAW_MUTEX_PATTERNS:
+                if pat.search(code):
+                    violations.append(f"{rel}:{lineno}: [raw-mutex] {what}")
+                    break
+
+        if TSA_ESCAPE_RE.search(code) and "tsa-escape" not in active:
+            context = lines[max(0, lineno - 6):lineno]
+            if not any("//" in c for c in context):
+                violations.append(
+                    f"{rel}:{lineno}: [tsa-escape] NO_THREAD_SAFETY_ANALYSIS "
+                    f"without an adjacent justification comment")
+
+
+def lint_bench_coverage(root: str, violations: list):
+    ci_path = os.path.join(root, "ci.sh")
+    with open(ci_path, encoding="utf-8") as f:
+        ci = f.read()
+    m = re.search(r"REQUIRED_BENCHES=\(([^)]*)\)", ci, re.S)
+    if not m:
+        violations.append(
+            "ci.sh: [bench-coverage] no REQUIRED_BENCHES=( ... ) list found")
+        return
+    required = set(m.group(1).split())
+    bench_dir = os.path.join(root, "bench")
+    on_disk = {fn[:-3] for fn in os.listdir(bench_dir)
+               if fn.startswith("bench_") and fn.endswith(".cc")}
+    for missing in sorted(on_disk - required):
+        violations.append(
+            f"bench/{missing}.cc: [bench-coverage] not in ci.sh "
+            f"REQUIRED_BENCHES — its smoke run could silently disappear")
+    for stale in sorted(required - on_disk):
+        violations.append(
+            f"ci.sh: [bench-coverage] REQUIRED_BENCHES lists {stale} but "
+            f"bench/{stale}.cc does not exist")
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1
+                           else os.path.join(os.path.dirname(__file__), ".."))
+    allowlist_path = os.path.join(root, "tools", "LINT_ALLOWLIST.md")
+    allowlist_doc = ""
+    if os.path.exists(allowlist_path):
+        with open(allowlist_path, encoding="utf-8") as f:
+            allowlist_doc = f.read()
+
+    violations: list = []
+    files = 0
+    for dirpath, _, filenames in os.walk(os.path.join(root, "src")):
+        for fn in sorted(filenames):
+            if not (fn.endswith(".h") or fn.endswith(".cc")):
+                continue
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            files += 1
+            lint_file(path, rel, allowlist_doc, violations)
+    lint_bench_coverage(root, violations)
+
+    if violations:
+        for v in violations:
+            print(v)
+        print(f"\nlint_invariants: {len(violations)} violation(s) "
+              f"across {files} files", file=sys.stderr)
+        return 1
+    print(f"lint_invariants: OK ({files} files, 0 violations)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
