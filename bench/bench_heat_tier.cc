@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -152,20 +153,18 @@ RunStats RunOne(const std::string& label, double theta, bool heat) {
   return stats;
 }
 
-std::string JsonPath() {
-  const char* env = std::getenv("UDR_BENCH_HEAT_TIER_JSON");
-  return env != nullptr && env[0] != '\0' ? env : "BENCH_heat_tier.json";
-}
-
 void WriteJson(const std::vector<RunStats>& rows, double p99_ratio_mitigated,
                double p99_ratio_raw, bool pass) {
-  std::string path = JsonPath();
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_heat_tier: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_heat_tier\",\n  \"rows\": [\n");
+  std::string path =
+      bench::JsonPath("UDR_BENCH_HEAT_TIER_JSON", "BENCH_heat_tier.json");
+  bench::RunMeta meta;
+  meta.seed = 7;  // Zipf draw Rng in RunOne.
+  meta.knobs = {{"subscribers", std::to_string(kSubscribers)},
+                {"batches", std::to_string(kBatches)},
+                {"ops_per_batch", std::to_string(kOpsPerBatch)}};
+  FILE* f = bench::OpenJson(path, "bench_heat_tier", meta);
+  if (f == nullptr) return;
+  std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const RunStats& r = rows[i];
     std::fprintf(
@@ -186,9 +185,7 @@ void WriteJson(const std::vector<RunStats>& rows, double p99_ratio_mitigated,
                p99_ratio_raw);
   std::fprintf(f, "  \"p99_skew_over_uniform_mitigated\": %.2f,\n",
                p99_ratio_mitigated);
-  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
-  std::fclose(f);
-  std::printf("bench_heat_tier: wrote %s\n", path.c_str());
+  bench::CloseJson(f, path, "bench_heat_tier", pass);
 }
 
 }  // namespace

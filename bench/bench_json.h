@@ -1,0 +1,74 @@
+// Shared emission helpers for the machine-readable BENCH_*.json artifacts
+// the self-checking benches write (ci.sh points them into the build tree and
+// refreshes the tracked top-level copies from each run).
+//
+// Every artifact opens with the same "meta" run-metadata block — the dominant
+// RNG seed, the modelled sim time the run covers, and the config knobs that
+// determine the result — so downstream tooling can join bench rows across
+// commits without per-bench parsing. Bodies stay bench-specific; only the
+// envelope is shared.
+
+#ifndef UDR_BENCH_BENCH_JSON_H_
+#define UDR_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace udr {
+namespace bench {
+
+/// Run metadata serialized into the artifact's "meta" object.
+struct RunMeta {
+  uint64_t seed = 0;              ///< Dominant RNG seed (0 = not seeded).
+  long long sim_duration_us = 0;  ///< Modelled sim time covered (0 = n/a).
+  /// Config knobs that determine the run: name -> already-rendered JSON
+  /// value (numbers bare, strings pre-quoted by the caller).
+  std::vector<std::pair<std::string, std::string>> knobs;
+};
+
+/// Output path: $<env_var> when set and non-empty, else ./<fallback>.
+inline std::string JsonPath(const char* env_var, const char* fallback) {
+  const char* env = std::getenv(env_var);
+  return env != nullptr && env[0] != '\0' ? env : fallback;
+}
+
+/// Opens <path> and writes the shared preamble
+///   { "bench": "<bench>", "meta": {...},
+/// leaving the file positioned for the bench-specific body. Returns nullptr
+/// (with a diagnostic on stderr) when the file cannot be created; the caller
+/// then skips its body and CloseJson.
+inline FILE* OpenJson(const std::string& path, const char* bench,
+                      const RunMeta& meta) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench, path.c_str());
+    return nullptr;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench);
+  std::fprintf(f, "  \"meta\": {\"seed\": %llu, \"sim_duration_us\": %lld",
+               static_cast<unsigned long long>(meta.seed),
+               meta.sim_duration_us);
+  for (const auto& knob : meta.knobs) {
+    std::fprintf(f, ", \"%s\": %s", knob.first.c_str(), knob.second.c_str());
+  }
+  std::fprintf(f, "},\n");
+  return f;
+}
+
+/// Writes the shared  "pass": <bool> }  footer, closes the file and reports
+/// the artifact path on stdout (the line smoke logs show per bench).
+inline void CloseJson(FILE* f, const std::string& path, const char* bench,
+                      bool pass) {
+  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+  std::fclose(f);
+  std::printf("%s: wrote %s\n", bench, path.c_str());
+}
+
+}  // namespace bench
+}  // namespace udr
+
+#endif  // UDR_BENCH_BENCH_JSON_H_

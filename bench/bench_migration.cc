@@ -27,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "ldap/dn.h"
 #include "migration/planner.h"
@@ -276,20 +277,18 @@ M3Result RunM3() {
   return r;
 }
 
-std::string JsonEscapePath() {
-  const char* env = std::getenv("UDR_BENCH_JSON_PATH");
-  return env != nullptr && env[0] != '\0' ? env : "BENCH_migration.json";
-}
-
 void WriteJson(const M1Result& m1, const std::vector<M2Row>& m2,
                const M3Result& m3, bool pass) {
-  std::string path = JsonEscapePath();
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_migration: cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_migration\",\n");
+  std::string path =
+      bench::JsonPath("UDR_BENCH_JSON_PATH", "BENCH_migration.json");
+  bench::RunMeta meta;
+  meta.seed = workload::TestbedOptions{}.seed;
+  meta.knobs = {{"subscribers", std::to_string(kSubscribers)},
+                {"throttle_bps", std::to_string(kThrottleBps)},
+                {"chunk_bytes", std::to_string(kChunkBytes)},
+                {"probe_gap_us", std::to_string(kProbeGap)}};
+  FILE* f = bench::OpenJson(path, "bench_migration", meta);
+  if (f == nullptr) return;
   std::fprintf(f,
                "  \"m1\": {\"baseline_p99_us\": %lld, \"throttled_p99_us\": "
                "%lld, \"unthrottled_p99_us\": %lld, \"throttled_move_us\": "
@@ -317,9 +316,7 @@ void WriteJson(const M1Result& m1, const std::vector<M2Row>& m2,
                static_cast<long long>(m3.verified),
                static_cast<long long>(m3.lost),
                static_cast<long long>(m3.created));
-  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
-  std::fclose(f);
-  std::printf("bench_migration: wrote %s\n", path.c_str());
+  bench::CloseJson(f, path, "bench_migration", pass);
 }
 
 void PrintMigrationTables() {

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "storage/attr_pool.h"
 #include "storage/record.h"
@@ -187,23 +188,16 @@ LookupResult MeasureLookup(const std::vector<Record>& records) {
   return r;
 }
 
-std::string JsonPath() {
-  const char* env = std::getenv("UDR_BENCH_RECORD_LAYOUT_JSON");
-  return env != nullptr && env[0] != '\0' ? env : "BENCH_record_layout.json";
-}
-
 void WriteJson(const LayoutResult& layout, const LookupResult& lookup,
                bool pass) {
-  std::string path = JsonPath();
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_record_layout: cannot write %s\n",
-                 path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_record_layout\",\n");
-  std::fprintf(f, "  \"subscribers\": %lld,\n",
-               static_cast<long long>(kSubscribers));
+  std::string path = bench::JsonPath("UDR_BENCH_RECORD_LAYOUT_JSON",
+                                     "BENCH_record_layout.json");
+  bench::RunMeta meta;  // Wall-measured layout/lookup bench: no seed/sim time.
+  meta.knobs = {{"subscribers", std::to_string(kSubscribers)},
+                {"map_sample", std::to_string(kMapSample)},
+                {"lookups", std::to_string(kLookups)}};
+  FILE* f = bench::OpenJson(path, "bench_record_layout", meta);
+  if (f == nullptr) return;
   std::fprintf(
       f,
       "  \"layout\": {\"packed_model_bytes_per_sub\": %lld, "
@@ -220,9 +214,7 @@ void WriteJson(const LayoutResult& layout, const LookupResult& lookup,
                lookup.packed_ns_per_op, lookup.by_id_ns_per_op,
                lookup.map_ns_per_op, static_cast<long long>(kLookups),
                static_cast<unsigned long long>(lookup.packed_allocs));
-  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
-  std::fclose(f);
-  std::printf("bench_record_layout: wrote %s\n", path.c_str());
+  bench::CloseJson(f, path, "bench_record_layout", pass);
 }
 
 }  // namespace

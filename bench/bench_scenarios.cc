@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "scenario/scenarios.h"
 
@@ -23,20 +24,21 @@ using namespace udr;
 
 namespace {
 
-std::string JsonPath() {
-  const char* env = std::getenv("UDR_BENCH_SCENARIOS_JSON");
-  return env != nullptr && env[0] != '\0' ? env : "BENCH_scenarios.json";
-}
-
 void WriteJson(const std::vector<scenario::ScenarioReport>& reports,
                bool pass) {
-  std::string path = JsonPath();
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_scenarios: cannot write %s\n", path.c_str());
-    return;
+  std::string path =
+      bench::JsonPath("UDR_BENCH_SCENARIOS_JSON", "BENCH_scenarios.json");
+  const std::vector<scenario::ScenarioSpec> specs =
+      scenario::StandardScenarios();
+  bench::RunMeta meta;
+  meta.seed = specs.empty() ? 0 : specs.front().testbed.seed;
+  for (const scenario::ScenarioSpec& spec : specs) {
+    meta.sim_duration_us += spec.duration;
   }
-  std::fprintf(f, "{\n  \"bench\": \"bench_scenarios\",\n  \"scenarios\": [\n");
+  meta.knobs = {{"scenario_count", std::to_string(specs.size())}};
+  FILE* f = bench::OpenJson(path, "bench_scenarios", meta);
+  if (f == nullptr) return;
+  std::fprintf(f, "  \"scenarios\": [\n");
   for (size_t i = 0; i < reports.size(); ++i) {
     const scenario::ScenarioReport& r = reports[i];
     workload::ClassStats fe = r.stats.FeAll();
@@ -68,9 +70,8 @@ void WriteJson(const std::vector<scenario::ScenarioReport>& reports,
                  r.Passed() ? "true" : "false",
                  i + 1 < reports.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"pass\": %s\n}\n", pass ? "true" : "false");
-  std::fclose(f);
-  std::printf("bench_scenarios: wrote %s\n", path.c_str());
+  std::fprintf(f, "  ],\n");
+  bench::CloseJson(f, path, "bench_scenarios", pass);
 }
 
 }  // namespace

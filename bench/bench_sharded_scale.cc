@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "workload/sharded_traffic.h"
 
@@ -70,20 +71,19 @@ ScaleRow RunOne(int shards) {
   return row;
 }
 
-std::string JsonPath() {
-  const char* env = std::getenv("UDR_BENCH_SHARDED_SCALE_JSON");
-  return env != nullptr && env[0] != '\0' ? env : "BENCH_sharded_scale.json";
-}
-
 void WriteJson(const std::vector<ScaleRow>& rows, double speedup4, bool pass) {
-  std::string path = JsonPath();
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_sharded_scale: cannot write %s\n",
-                 path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"bench_sharded_scale\",\n  \"rows\": [\n");
+  std::string path = bench::JsonPath("UDR_BENCH_SHARDED_SCALE_JSON",
+                                     "BENCH_sharded_scale.json");
+  const workload::TrafficOptions opts = RunOptions(/*shards=*/1);
+  bench::RunMeta meta;
+  meta.seed = opts.seed;
+  meta.knobs = {{"subscribers", std::to_string(opts.subscriber_count)},
+                {"total_ops", std::to_string(opts.sharded_total_ops)},
+                {"write_fraction", std::to_string(opts.sharded_write_fraction)},
+                {"batch_ops", std::to_string(opts.sharded_batch_ops)}};
+  FILE* f = bench::OpenJson(path, "bench_sharded_scale", meta);
+  if (f == nullptr) return;
+  std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const ScaleRow& r = rows[i];
     std::fprintf(f,
@@ -124,9 +124,7 @@ void WriteJson(const std::vector<ScaleRow>& rows, double speedup4, bool pass) {
   }
   std::fprintf(f, "  ],\n  \"aggregate_speedup_at_4_shards\": %.2f,\n",
                speedup4);
-  std::fprintf(f, "  \"pass\": %s\n}\n", pass ? "true" : "false");
-  std::fclose(f);
-  std::printf("bench_sharded_scale: wrote %s\n", path.c_str());
+  bench::CloseJson(f, path, "bench_sharded_scale", pass);
 }
 
 }  // namespace

@@ -8,10 +8,12 @@
 #   clang-tidy         bugprone/concurrency/performance checks over src/
 #   bench-smoke        Release (-O2) build, every benchmark 1 iteration, all
 #                      self-checking tables must pass, bench JSONs must be
-#                      emitted, tracked top-level BENCH_*.json refreshed
+#                      emitted, tracked top-level BENCH_*.json refreshed; the
+#                      obs-overhead bench must also emit a Perfetto trace that
+#                      parses as JSON and covers the major data-path stages
 #   asan-ubsan         Debug+ASan/UBSan ctest (-LE slow)
 #   tsan               ThreadSanitizer over the concurrent surface: exec_test,
-#                      scenario_smoke, heat_test, migration_test
+#                      obs_test, scenario_smoke, heat_test, migration_test
 #
 # Usage: ./ci.sh [--skip-sanitizers] [--skip-clang]
 #   --skip-clang       skip the two clang-only stages (gcc-only hosts). They
@@ -77,6 +79,7 @@ REQUIRED_BENCHES=(
   bench_location_stage
   bench_migration
   bench_multimaster
+  bench_obs_overhead
   bench_partition_availability
   bench_pre_udc
   bench_ps_backlog
@@ -157,9 +160,12 @@ export UDR_BENCH_RECORD_LAYOUT_JSON="${PWD}/build-release/BENCH_record_layout.js
 export UDR_BENCH_SHARDED_SCALE_JSON="${PWD}/build-release/BENCH_sharded_scale.json"
 export UDR_BENCH_HEAT_TIER_JSON="${PWD}/build-release/BENCH_heat_tier.json"
 export UDR_BENCH_SCENARIOS_JSON="${PWD}/build-release/BENCH_scenarios.json"
+export UDR_BENCH_OBS_OVERHEAD_JSON="${PWD}/build-release/BENCH_obs_overhead.json"
+export UDR_OBS_TRACE_JSON="${PWD}/build-release/obs_trace.json"
 rm -f "${UDR_BENCH_JSON_PATH}" "${UDR_BENCH_RECORD_LAYOUT_JSON}" \
       "${UDR_BENCH_SHARDED_SCALE_JSON}" "${UDR_BENCH_HEAT_TIER_JSON}" \
-      "${UDR_BENCH_SCENARIOS_JSON}"
+      "${UDR_BENCH_SCENARIOS_JSON}" "${UDR_BENCH_OBS_OVERHEAD_JSON}" \
+      "${UDR_OBS_TRACE_JSON}"
 bench_failed=0
 for bench in build-release/bench/bench_*; do
   [[ -x "${bench}" ]] || continue
@@ -184,12 +190,28 @@ if [[ "${bench_failed}" != 0 ]]; then
 fi
 for json in "${UDR_BENCH_JSON_PATH}" "${UDR_BENCH_RECORD_LAYOUT_JSON}" \
             "${UDR_BENCH_SHARDED_SCALE_JSON}" "${UDR_BENCH_HEAT_TIER_JSON}" \
-            "${UDR_BENCH_SCENARIOS_JSON}"; do
+            "${UDR_BENCH_SCENARIOS_JSON}" "${UDR_BENCH_OBS_OVERHEAD_JSON}"; do
   if [[ ! -s "${json}" ]]; then
     echo "SMOKE FAILED: benchmark did not emit ${json}"
     exit 1
   fi
 done
+# The exported trace must be loadable by Perfetto (valid Chrome trace JSON)
+# and cover the major data-path stages end to end.
+python3 - "${UDR_OBS_TRACE_JSON}" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no traceEvents"
+names = {e.get("name") for e in events}
+required = {"event", "route.batch", "resolve", "dispatch", "replica.write",
+            "coalesce.park", "coalesce.flush", "migration.chunk"}
+missing = required - names
+assert not missing, f"trace is missing stages: {sorted(missing)}"
+print(f"-- obs trace OK: {len(events)} events, "
+      f"{len(names)} distinct span names")
+PYEOF
 # Refresh the tracked top-level copies from the fresh run so they can never
 # drift stale relative to the code (git diff surfaces the delta for review).
 for tracked in BENCH_*.json; do
@@ -228,11 +250,12 @@ else
   cmake --build build-tsan -j "${JOBS}"
   # The dynamic checker runs over every layer the thread-safety annotations
   # describe: the sharded execution mode (exec_test: SPSC handoff, lock-free
-  # AttrPool reads, metrics merging) plus the scenario/heat/migration layers
-  # whose structures now carry annotated guards.
+  # AttrPool reads, metrics merging), the per-shard tracer handoff/merge
+  # (obs_test), plus the scenario/heat/migration layers whose structures now
+  # carry annotated guards.
   TSAN_OPTIONS=halt_on_error=1 \
     ctest --test-dir build-tsan --output-on-failure -j "${JOBS}" \
-      -R 'exec_test|scenario_smoke|heat_test|migration_test' -LE slow
+      -R 'exec_test|obs_test|scenario_smoke|heat_test|migration_test' -LE slow
   pass_stage
 fi
 

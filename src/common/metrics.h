@@ -27,11 +27,73 @@ namespace udr {
 /// A registry of named counters and histograms.
 class Metrics {
  public:
+  /// Pre-registered counter handle: the hot-path alternative to the string
+  /// Add() API. RegisterCounter() resolves the name once; Add() through the
+  /// handle takes the registry lock but skips the string-map lookup. Slots
+  /// are std::map nodes, so handles stay valid for the registry's lifetime
+  /// (Reset() zeroes values in place rather than erasing nodes). A
+  /// default-constructed handle is a safe no-op.
+  class Counter {
+   public:
+    Counter() = default;
+
+    void Add(int64_t delta = 1) {
+      if (mu_ == nullptr) return;
+      common::MutexLock lock(*mu_);
+      *slot_ += delta;
+    }
+    int64_t value() const {
+      if (mu_ == nullptr) return 0;
+      common::MutexLock lock(*mu_);
+      return *slot_;
+    }
+
+   private:
+    friend class Metrics;
+    Counter(common::Mutex* mu, int64_t* slot) : mu_(mu), slot_(slot) {}
+
+    common::Mutex* mu_ = nullptr;
+    int64_t* slot_ = nullptr;
+  };
+
+  /// Pre-registered histogram handle; same contract as Counter.
+  class HistHandle {
+   public:
+    HistHandle() = default;
+
+    void Observe(int64_t value) {
+      if (mu_ == nullptr) return;
+      common::MutexLock lock(*mu_);
+      slot_->Record(value);
+    }
+
+   private:
+    friend class Metrics;
+    HistHandle(common::Mutex* mu, Histogram* slot) : mu_(mu), slot_(slot) {}
+
+    common::Mutex* mu_ = nullptr;
+    Histogram* slot_ = nullptr;
+  };
+
   Metrics() = default;
   Metrics(const Metrics&) = delete;
   Metrics& operator=(const Metrics&) = delete;
 
+  /// Resolves a counter name to a stable handle (creating the counter at
+  /// zero). Register at construction time, Add() on the hot path.
+  Counter RegisterCounter(const std::string& name) EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return Counter(&mu_, &counters_[name]);
+  }
+
+  /// Resolves a histogram name to a stable handle (creating it empty).
+  HistHandle RegisterHist(const std::string& name) EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return HistHandle(&mu_, &histograms_[name]);
+  }
+
   /// Adds `delta` to the named counter (creating it at zero). Thread-safe.
+  /// Cold-path API — hot call sites use RegisterCounter() handles.
   void Add(const std::string& name, int64_t delta = 1) EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
     counters_[name] += delta;
@@ -106,14 +168,19 @@ class Metrics {
     return histograms_;
   }
 
-  /// Clears all counters and histograms. Thread-safe.
+  /// Zeroes all counters and histograms. Values are reset in place — map
+  /// nodes are never erased, so RegisterCounter()/RegisterHist() handles
+  /// survive a Reset(). Thread-safe.
   void Reset() EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
-    counters_.clear();
-    histograms_.clear();
+    for (auto& [k, v] : counters_) v = 0;
+    for (auto& [k, h] : histograms_) h.Reset();
   }
 
-  /// Multi-line dump of all counters (for debugging and examples).
+  /// Multi-line dump: all counters ("name = value"), then all histograms
+  /// ("name : count=N p50=X p99=Y"), each section in sorted name order and
+  /// every histogram line carrying the same fields (empty ones included) —
+  /// deterministic bytes for replay comparison.
   std::string Dump() const EXCLUDES(mu_) {
     common::MutexLock lock(mu_);
     std::string out;
@@ -125,8 +192,12 @@ class Metrics {
     }
     for (const auto& [k, h] : histograms_) {
       out += k;
-      out += " : ";
-      out += h.Summary();
+      out += " : count=";
+      out += std::to_string(h.count());
+      out += " p50=";
+      out += std::to_string(h.P50());
+      out += " p99=";
+      out += std::to_string(h.P99());
       out += '\n';
     }
     return out;

@@ -76,6 +76,13 @@ void Shard::Provision() {
   config.replication_factor = opts_.replication_factor;
   config.se_per_cluster = opts_.se_per_cluster;
   config.partitions_per_se = opts_.partitions_per_se;
+  // Per-shard tracer: sampling already happened on the driver (batches
+  // arrive stamped), but the rate must be non-zero for the UdrNf to build a
+  // tracer at all. Lane = shard index keeps merged Perfetto output
+  // per-thread.
+  config.trace_sample_rate = opts_.trace_sample_rate;
+  config.trace_seed = opts_.seed;
+  config.trace_lane = static_cast<uint32_t>(index_);
   udr_ = std::make_unique<udrnf::UdrNf>(config, network_.get());
   auto cluster = udr_->AddCluster(0);
   assert(cluster.ok());
@@ -106,7 +113,15 @@ location::Identity Shard::IdentityOf(uint64_t subscriber) const {
 
 void Shard::Execute(const ShardBatch& batch) {
   if (batch.ops.empty()) return;
+  // The driver stamped the trace before the SPSC push; the span opens here,
+  // on this shard's clock, and covers submit-through-flush of the batch
+  // (one tick of the shard's dispatch window).
+  obs::Span exec_span;
+  if (batch.trace.active()) {
+    exec_span = obs::StartSpan(udr_->tracer(), "shard.execute", batch.trace);
+  }
   routing::BatchRequest req;
+  req.trace = exec_span.context().active() ? exec_span.context() : batch.trace;
   for (const ShardOp& op : batch.ops) {
     // Per-key order check: the driver stamps per-subscriber monotonically
     // increasing sequence numbers; seeing a regression here means the

@@ -23,6 +23,7 @@
 
 #include "common/hash_ring.h"
 #include "location/identity.h"
+#include "obs/trace.h"
 #include "routing/coalescer.h"
 #include "sim/clock.h"
 #include "sim/network.h"
@@ -89,6 +90,11 @@ struct ShardOptions {
   size_t dispatch_max_ops = 64;
   MicroDuration dispatch_window = Micros(200);
   MicroDuration tick = Micros(50);
+  /// Trace sampling of handoff batches (0 = tracing off). The DRIVER decides
+  /// sampling (Tracer::SampleDecision over this rate and `seed`) and stamps
+  /// ShardBatch::trace; each shard's own tracer records the spans on its
+  /// private sim clock, lane = shard index.
+  double trace_sample_rate = 0.0;
 };
 
 /// One operation handed to a shard: a read of the subscriber's profile or a
@@ -104,6 +110,11 @@ struct ShardOp {
 /// The handoff unit: every op in a batch must belong to the same shard.
 struct ShardBatch {
   std::vector<ShardOp> ops;
+  /// Stamped by the driver before the SPSC push (trace id from the driver's
+  /// counter, sampling decided there); the consuming shard's tracer opens
+  /// the "shard.execute" span under it, so a trace follows the batch across
+  /// the thread handoff.
+  obs::TraceContext trace;
 };
 
 /// Counters a shard accumulates on its worker thread (read after join).

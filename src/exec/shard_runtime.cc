@@ -100,6 +100,16 @@ void ShardRuntime::WorkerLoop(int index) {
 
 void ShardRuntime::Submit(ShardBatch batch, int shard) {
   submitted_ += static_cast<int64_t>(batch.ops.size());
+  if (opts_.shard.trace_sample_rate > 0) {
+    // Driver-side stamping: trace ids come from one counter across every
+    // shard, and the sampling decision is the same pure function the shard
+    // tracers use — the handoff carries the decision, it doesn't re-roll it.
+    const uint64_t id = ++trace_counter_;
+    batch.trace.trace_id = id;
+    batch.trace.span_id = 0;
+    batch.trace.sampled = obs::Tracer::SampleDecision(
+        opts_.shard.seed, id, opts_.shard.trace_sample_rate);
+  }
   SpscQueue<ShardBatch>& queue = *queues_[shard];
   while (!queue.TryPush(std::move(batch))) {
     std::this_thread::yield();  // Back-pressure: ring full, consumer behind.
@@ -146,6 +156,14 @@ const ShardRuntimeReport& ShardRuntime::Finish() {
 void ShardRuntime::MergeMetricsInto(Metrics* out) const {
   for (const auto& shard : shards_) {
     if (shard) out->MergeFrom(shard->udr().metrics());
+  }
+}
+
+void ShardRuntime::MergeTracersInto(obs::Tracer* out) const {
+  for (const auto& shard : shards_) {
+    if (shard && shard->udr().tracer() != nullptr) {
+      out->MergeFrom(*shard->udr().tracer());
+    }
   }
 }
 

@@ -26,6 +26,7 @@
 #include "common/metrics.h"
 #include "exec/shard.h"
 #include "exec/spsc_queue.h"
+#include "obs/trace.h"
 
 namespace udr::exec {
 
@@ -112,6 +113,10 @@ class ShardRuntime {
   /// Every shard's UdrNf metrics merged into one registry (post-Finish).
   void MergeMetricsInto(Metrics* out) const;
 
+  /// Every shard's spans merged into one tracer (post-Finish; the joins are
+  /// the happens-before edges). No-op for shards that ran untraced.
+  void MergeTracersInto(obs::Tracer* out) const;
+
  private:
   void WorkerLoop(int index);
 
@@ -135,6 +140,7 @@ class ShardRuntime {
   std::atomic<int> ready_{0};
   std::atomic<bool> done_{false};
   int64_t submitted_ = 0;   ///< Driver thread only.
+  uint64_t trace_counter_ = 0;  ///< Driver thread only (handoff trace ids).
   int64_t start_wall_ns_ = 0;  ///< Driver thread only.
   bool finished_ = false;   ///< Driver thread only.
   ShardRuntimeReport report_;  ///< Driver thread only (post-join).

@@ -192,6 +192,10 @@ bool MigrationScheduler::StepTask(MigrationTask* task, bool unlimited,
     switch (task->state) {
       case TaskState::kPending: {
         task->started = Now();
+        // Each migration task is its own trace: the seeded decision keeps
+        // replays tracing the same moves, and every chunk/cutover span below
+        // hangs off this context.
+        if (tracer_ != nullptr) task->trace = tracer_->StartTrace();
         // Late re-validation: a failover can relocate the primary while the
         // task sits in the queue, making the plan-time donor stale — or the
         // move moot (the planned target already took over).
@@ -250,8 +254,13 @@ bool MigrationScheduler::StepTask(MigrationTask* task, bool unlimited,
                   .se->site();
           const sim::SiteId to =
               map_->se_info(static_cast<size_t>(task->spec.to_se)).se->site();
-          metrics_->Observe("migration.chunk_transfer_us",
-                            bandwidth_->TransferTime(from, to, *shipped));
+          const MicroDuration transfer_us =
+              bandwidth_->TransferTime(from, to, *shipped);
+          metrics_->Observe("migration.chunk_transfer_us", transfer_us);
+          if (tracer_ != nullptr) {
+            tracer_->RecordSpan("migration.chunk", task->trace, Now(),
+                                Now() + transfer_us);
+          }
           *progressed = true;
         }
         task->state = task->stream.copy_done() ? TaskState::kCatchUp
@@ -319,6 +328,16 @@ void MigrationScheduler::Cutover(MigrationTask* task, ReplicaSet* rs) {
   task->state = TaskState::kDone;
   task->finished = Now();
   metrics_->Observe("migration.cutover_latency", task->cutover_latency);
+  if (tracer_ != nullptr) {
+    tracer_->RecordSpan("migration.cutover", task->trace, Now(),
+                        Now() + task->cutover_latency);
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(Now(), "migration", "cutover",
+                    "partition=" + std::to_string(task->spec.partition) +
+                        " from_se=" + std::to_string(task->spec.from_se) +
+                        " to_se=" + std::to_string(task->spec.to_se));
+  }
   FinishTask(task);
 }
 
@@ -326,6 +345,11 @@ void MigrationScheduler::Fail(MigrationTask* task, Status error) {
   task->error = std::move(error);
   task->state = TaskState::kFailed;
   task->finished = Now();
+  if (flight_ != nullptr) {
+    flight_->Record(Now(), "migration", "task.failed",
+                    "task=" + std::to_string(task->id) + " " +
+                        task->error.ToString());
+  }
   FinishTask(task);
 }
 

@@ -37,6 +37,8 @@
 #include "common/time.h"
 #include "migration/bandwidth_model.h"
 #include "migration/planner.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "routing/partition_map.h"
 #include "routing/router.h"
 #include "sim/network.h"
@@ -67,6 +69,9 @@ struct MigrationTask {
   MicroTime started = 0;
   MicroTime finished = 0;
   MicroDuration cutover_latency = 0;  ///< Modelled final-flip latency.
+  /// Per-task trace (allocated when the task first runs): chunk ships and
+  /// the cutover hang off it so a move's pacing is visible span by span.
+  obs::TraceContext trace;
 
   bool terminal() const {
     return state == TaskState::kDone || state == TaskState::kFailed;
@@ -148,6 +153,11 @@ class MigrationScheduler {
   /// Priority coupling: foreground operations displace migration budget.
   void OnForegroundOps(int64_t ops);
 
+  /// Installs the tracer chunk/cutover spans are recorded into (nullptr =
+  /// off) and the flight recorder cutovers and failures are logged to.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
+
  private:
   MicroTime Now() const { return network_->Now(); }
 
@@ -182,6 +192,8 @@ class MigrationScheduler {
   const BandwidthModel* bandwidth_;
   sim::Network* network_;
   Metrics* metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   RehomeExecutor rehome_executor_;
 
   std::deque<MigrationTask> tasks_;  ///< Full history; cursor_ splits live/past.

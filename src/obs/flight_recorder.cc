@@ -1,0 +1,63 @@
+#include "obs/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace udr::obs {
+
+void FlightRecorder::Record(MicroTime t, const std::string& component,
+                            const char* kind, std::string detail) {
+  ++total_recorded_;
+  if (capacity_ == 0) return;
+  Ring& ring = rings_[component];
+  FlightEvent ev{t, kind, std::move(detail)};
+  if (ring.events.size() < capacity_) {
+    ring.events.push_back(std::move(ev));
+    return;
+  }
+  ring.events[ring.head] = std::move(ev);
+  ring.head = (ring.head + 1) % ring.events.size();
+  ++total_evicted_;
+}
+
+std::vector<FlightEvent> FlightRecorder::Events(
+    const std::string& component) const {
+  std::vector<FlightEvent> out;
+  auto it = rings_.find(component);
+  if (it == rings_.end()) return out;
+  out.reserve(it->second.size());
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    out.push_back(it->second.at(i));
+  }
+  return out;
+}
+
+size_t FlightRecorder::retained() const {
+  size_t n = 0;
+  for (const auto& [name, ring] : rings_) n += ring.size();
+  return n;
+}
+
+std::string FlightRecorder::Dump() const {
+  std::string out;
+  char buf[48];
+  for (const auto& [component, ring] : rings_) {
+    for (size_t i = 0; i < ring.size(); ++i) {
+      const FlightEvent& ev = ring.at(i);
+      out += '[';
+      out += component;
+      std::snprintf(buf, sizeof(buf), "] t=%" PRId64 " ", ev.t);
+      out += buf;
+      out += ev.kind;
+      if (!ev.detail.empty()) {
+        out += ' ';
+        out += ev.detail;
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace udr::obs

@@ -1,0 +1,176 @@
+// Deterministic trace spans over the simulated data path.
+//
+// The tracer runs entirely on the sim clock (wall clock stays banned in
+// src/): span timestamps are sim microseconds and span durations are the
+// pipeline's *modelled* latencies, so a trace shows exactly where an op's
+// reported latency was spent — resolve, grouped dispatch, replica write/read,
+// coalescer park/flush, migration chunk ship, sharded handoff. Sampling is
+// seeded and a pure function of (seed, trace id): the same run traces the
+// same events every replay, and tracing never perturbs any Rng stream or any
+// modelled outcome (a traced run is byte-identical to an untraced one minus
+// the trace itself — the overhead gate of bench_obs_overhead).
+//
+// Thread safety: a Tracer is single-threaded by contract, like the per-shard
+// Metrics registries — every shard (worker thread) owns its own Tracer and
+// the driver merges them after the join (MergeFrom), the join being the
+// happens-before edge. No locks anywhere on the span path.
+//
+// Export: ExportChromeJson() writes Chrome/Perfetto trace-event JSON
+// ("traceEvents" complete events, ph "X"), so a scenario run opens directly
+// in a real trace viewer (ui.perfetto.dev / chrome://tracing).
+
+#ifndef UDR_OBS_TRACE_H_
+#define UDR_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/clock.h"
+
+namespace udr::obs {
+
+/// Trace identity carried through the data path (on routing::BatchRequest,
+/// exec::ShardBatch, migration tasks). POD; an invalid / unsampled context
+/// makes every downstream span a no-op.
+struct TraceContext {
+  uint64_t trace_id = 0;  ///< 0 = no trace.
+  uint64_t span_id = 0;   ///< Parent span for children (0 = root).
+  bool sampled = false;
+
+  bool active() const { return trace_id != 0 && sampled; }
+};
+
+/// One finished (or still-open) span.
+struct SpanRecord {
+  const char* name = "";  ///< Static stage name ("resolve", "dispatch", ...).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root span of its trace.
+  MicroTime start = 0;
+  MicroTime end = 0;
+  uint32_t lane = 0;  ///< Perfetto tid: which tracer recorded it (shard id).
+};
+
+class Tracer;
+
+/// RAII handle over one span. A default-constructed Span is a no-op (the
+/// unsampled fast path); destruction closes the span at the clock's current
+/// time unless EndAt() already closed it at a modelled completion time.
+class Span {
+ public:
+  Span() = default;
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& o) noexcept : tracer_(o.tracer_), index_(o.index_) {
+    o.tracer_ = nullptr;
+  }
+  Span& operator=(Span&& o) noexcept {
+    End();
+    tracer_ = o.tracer_;
+    index_ = o.index_;
+    o.tracer_ = nullptr;
+    return *this;
+  }
+
+  /// Context for child spans; inert when this span is a no-op.
+  TraceContext context() const;
+
+  /// Closes at the clock's current sim time. Idempotent.
+  void End();
+  /// Closes at an explicit (modelled) completion time — the data path
+  /// computes latencies without advancing the clock, so stage spans end at
+  /// start + modelled cost rather than at Now().
+  void EndAt(MicroTime t);
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, size_t index) : tracer_(tracer), index_(index) {}
+
+  Tracer* tracer_ = nullptr;  ///< nullptr = no-op span.
+  size_t index_ = 0;          ///< Into the tracer's span vector.
+};
+
+/// Owns the span buffer of one thread of execution.
+class Tracer {
+ public:
+  struct Options {
+    /// Fraction of traces sampled, in [0, 1]. The decision is a pure
+    /// function of (seed, trace id) — deterministic across replays.
+    double sample_rate = 0.0;
+    uint64_t seed = 42;
+    /// Hard cap on retained spans; the excess is counted, not stored.
+    size_t max_spans = 1 << 20;
+    /// Perfetto tid of every span this tracer records (per-shard lane).
+    uint32_t lane = 0;
+  };
+
+  Tracer(Options options, const sim::SimClock* clock);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  const Options& options() const { return options_; }
+
+  /// The deterministic sampling decision, usable without a Tracer (the
+  /// sharded driver stamps handoff batches with it).
+  static bool SampleDecision(uint64_t seed, uint64_t trace_id, double rate);
+
+  /// Allocates the next trace id and decides its sampling fate. Ids are a
+  /// plain counter, so replays allocate identical ids in identical order.
+  TraceContext StartTrace();
+
+  /// Opens a child span of `parent`; a no-op Span when the parent is
+  /// unsampled or the buffer is at capacity.
+  Span StartSpan(const char* name, const TraceContext& parent);
+
+  /// Same, but starting at an explicit (modelled) time instead of Now() —
+  /// for stages whose modelled start is downstream of already-accounted
+  /// cost (a dispatch begins after the resolve stage's cost, though the
+  /// clock has not moved).
+  Span StartSpanAt(const char* name, const TraceContext& parent,
+                   MicroTime start);
+
+  /// Records one already-complete span (park windows, handoff legs — spans
+  /// whose start predates the call). Returns its span id (0 when dropped).
+  uint64_t RecordSpan(const char* name, const TraceContext& parent,
+                      MicroTime start, MicroTime end);
+
+  /// Appends another tracer's spans (the per-shard merge; caller guarantees
+  /// the source thread was joined first).
+  void MergeFrom(const Tracer& other);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  int64_t dropped() const { return dropped_; }
+  int64_t traces_started() const { return next_trace_id_ - 1; }
+  int64_t traces_sampled() const { return traces_sampled_; }
+
+  /// Chrome/Perfetto trace-event JSON, events sorted by (ts, lane, span id)
+  /// so merged multi-lane output is deterministic.
+  std::string ExportChromeJson() const;
+
+ private:
+  friend class Span;
+
+  Options options_;
+  const sim::SimClock* clock_;
+  std::vector<SpanRecord> spans_;
+  uint64_t next_trace_id_ = 1;
+  uint64_t next_span_id_ = 1;
+  int64_t traces_sampled_ = 0;
+  int64_t dropped_ = 0;
+};
+
+/// Null-safe span factory: the call sites hold a Tracer* that is nullptr
+/// when tracing is off, and a no-op Span costs one branch.
+inline Span StartSpan(Tracer* tracer, const char* name,
+                      const TraceContext& parent) {
+  return tracer != nullptr ? tracer->StartSpan(name, parent) : Span();
+}
+
+}  // namespace udr::obs
+
+#endif  // UDR_OBS_TRACE_H_

@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "location/identity.h"
+#include "obs/trace.h"
 #include "replication/replica_set.h"
 #include "storage/record.h"
 
@@ -81,6 +82,9 @@ struct Operation {
 /// A multi-op request entering the pipeline as one unit.
 struct BatchRequest {
   std::vector<Operation> ops;
+  /// Trace identity of the signaling event this batch serves; default
+  /// (inactive) means every pipeline span is a no-op.
+  obs::TraceContext trace;
 
   size_t size() const { return ops.size(); }
   bool empty() const { return ops.empty(); }

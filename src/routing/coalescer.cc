@@ -1,13 +1,24 @@
 #include "routing/coalescer.h"
 
-#include <string>
 #include <utility>
 
 namespace udr::routing {
 
 Coalescer::Coalescer(CoalescerConfig config, Router* router,
                      const sim::SimClock* clock, Metrics* metrics)
-    : config_(config), router_(router), clock_(clock), metrics_(metrics) {}
+    : config_(config),
+      router_(router),
+      clock_(clock),
+      metrics_(metrics),
+      events_(metrics->RegisterCounter("coalescer.events")),
+      flush_passthrough_(metrics->RegisterCounter("coalescer.flush.passthrough")),
+      flush_cap_(metrics->RegisterCounter("coalescer.flush.cap")),
+      flush_deadline_(metrics->RegisterCounter("coalescer.flush.deadline")),
+      flush_barrier_(metrics->RegisterCounter("coalescer.flush.barrier")),
+      flush_ops_(metrics->RegisterHist("coalescer.flush.ops")),
+      flush_events_(metrics->RegisterHist("coalescer.flush.events")),
+      flush_groups_(metrics->RegisterHist("coalescer.flush.groups")),
+      queue_delay_(metrics->RegisterHist("coalescer.queue_delay_us")) {}
 
 EventId Coalescer::Submit(BatchRequest event) {
   const EventId id = next_id_++;
@@ -20,28 +31,28 @@ EventId Coalescer::Submit(BatchRequest event) {
   if (pending_.empty()) deadline_ = clock_->Now() + config_.window;
   pending_ops_ += event.size();
   pending_.push_back(Parked{id, std::move(event), clock_->Now()});
-  metrics_->Add("coalescer.events");
+  events_.Add();
 
   if (config_.window <= 0) {
-    Flush("passthrough");
+    Flush(flush_passthrough_);
   } else if (config_.max_ops > 0 && pending_ops_ >= config_.max_ops) {
-    Flush("cap");
+    Flush(flush_cap_);
   }
   return id;
 }
 
 bool Coalescer::FlushIfDue() {
   if (pending_.empty() || clock_->Now() < deadline_) return false;
-  Flush("deadline");
+  Flush(flush_deadline_);
   return true;
 }
 
 void Coalescer::FlushNow() {
   if (pending_.empty()) return;
-  Flush("barrier");
+  Flush(flush_barrier_);
 }
 
-void Coalescer::Flush(const char* reason) {
+void Coalescer::Flush(Metrics::Counter& reason) {
   if (pending_.empty()) return;
 
   // One aggregate batch in arrival order: per-key order across events is
@@ -51,18 +62,34 @@ void Coalescer::Flush(const char* reason) {
   for (Parked& parked : pending_) {
     for (Operation& op : parked.event.ops) agg.ops.push_back(std::move(op));
   }
+
+  // Trace attribution: the shared dispatch runs once for every event in the
+  // window, so its spans hang off the first *sampled* event's trace (the
+  // others see their park span only — one trace per flush keeps the span
+  // volume proportional to sampled events, not window width).
+  obs::Tracer* tracer = router_->tracer();
+  obs::TraceContext flush_parent;
+  for (const Parked& parked : pending_) {
+    if (parked.event.trace.active()) {
+      flush_parent = parked.event.trace;
+      break;
+    }
+  }
+  obs::Span flush_span = obs::StartSpan(tracer, "coalesce.flush", flush_parent);
+  agg.trace = flush_span.context().active() ? flush_span.context()
+                                            : flush_parent;
   BatchResult flush = router_->RouteBatch(agg, config_.poa_site);
+  const MicroTime now = clock_->Now();
+  flush_span.EndAt(now + flush.latency);
 
   ++flushes_;
-  metrics_->Add(std::string("coalescer.flush.") + reason);
-  metrics_->Observe("coalescer.flush.ops", static_cast<int64_t>(agg.size()));
-  metrics_->Observe("coalescer.flush.events",
-                    static_cast<int64_t>(pending_.size()));
-  metrics_->Observe("coalescer.flush.groups", flush.partition_groups);
+  reason.Add();
+  flush_ops_.Observe(static_cast<int64_t>(agg.size()));
+  flush_events_.Observe(static_cast<int64_t>(pending_.size()));
+  flush_groups_.Observe(flush.partition_groups);
 
   // Demultiplex: outcomes [cursor, cursor + event size) belong to each event
   // in arrival order. Every event completes when the shared dispatch does.
-  const MicroTime now = clock_->Now();
   size_t cursor = 0;
   for (Parked& parked : pending_) {
     EventOutcome out;
@@ -78,7 +105,14 @@ void Coalescer::Flush(const char* reason) {
       if (op.from_cache) ++out.cache_hits;
       out.outcomes.push_back(std::move(op));
     }
-    metrics_->Observe("coalescer.queue_delay_us", out.queue_delay);
+    queue_delay_.Observe(out.queue_delay);
+    // Each sampled event gets its park window as a span of its own trace
+    // (recorded at flush time — the wait is only known once the window
+    // closes).
+    if (tracer != nullptr && parked.event.trace.active()) {
+      tracer->RecordSpan("coalesce.park", parked.event.trace, parked.arrival,
+                         now);
+    }
     completed_.emplace(parked.id, std::move(out));
   }
 

@@ -108,15 +108,26 @@ class Coalescer {
   };
 
   /// Aggregates every parked event into one RouteBatch, dispatches it and
-  /// demultiplexes per-op results back to their events. `reason` names the
-  /// close trigger for the metrics ("deadline", "cap", "passthrough",
-  /// "barrier").
-  void Flush(const char* reason);
+  /// demultiplexes per-op results back to their events. `reason` is the
+  /// pre-registered counter of the close trigger (deadline / cap /
+  /// passthrough / barrier — a fixed set, so no dynamic metric names).
+  void Flush(Metrics::Counter& reason);
 
   CoalescerConfig config_;
   Router* router_;
   const sim::SimClock* clock_;
   Metrics* metrics_;
+  // Window-stat handles: the coalescer sits on every event submission, so
+  // its counters are pre-registered rather than string-looked-up per op.
+  Metrics::Counter events_;
+  Metrics::Counter flush_passthrough_;
+  Metrics::Counter flush_cap_;
+  Metrics::Counter flush_deadline_;
+  Metrics::Counter flush_barrier_;
+  Metrics::HistHandle flush_ops_;
+  Metrics::HistHandle flush_events_;
+  Metrics::HistHandle flush_groups_;
+  Metrics::HistHandle queue_delay_;
 
   std::vector<Parked> pending_;  ///< Arrival order (per-key order across events).
   size_t pending_ops_ = 0;

@@ -14,7 +14,17 @@ using location::LocationEntry;
 using location::ResolveResult;
 
 Router::Router(PartitionMap* map, sim::Network* network, Metrics* metrics)
-    : map_(map), network_(network), metrics_(metrics) {}
+    : map_(map),
+      network_(network),
+      metrics_(metrics),
+      routed_(metrics->RegisterCounter("router.routed")),
+      bypass_hits_(metrics->RegisterCounter("router.bypass.hits")),
+      cache_hits_(metrics->RegisterCounter("router.cache.hits")),
+      cache_misses_(metrics->RegisterCounter("router.cache.misses")),
+      batch_count_(metrics->RegisterCounter("router.batch.count")),
+      batch_ops_(metrics->RegisterCounter("router.batch.ops")),
+      batch_size_(metrics->RegisterHist("router.batch.size")),
+      batch_groups_(metrics->RegisterHist("router.batch.groups")) {}
 
 void Router::RegisterPoa(uint32_t cluster_id, sim::SiteId site,
                          location::LocationStage* stage) {
@@ -67,6 +77,11 @@ void Router::BumpPartitionEpoch(uint32_t partition) {
     partition_epochs_.resize(partition + 1, 0);
   }
   ++partition_epochs_[partition];
+  if (flight_ != nullptr) {
+    flight_->Record(network_->Now(), "router", "epoch.bump",
+                    "partition=" + std::to_string(partition) + " epoch=" +
+                        std::to_string(partition_epochs_[partition]));
+  }
 }
 
 const storage::Record* Router::CacheLookup(storage::RecordKey key,
@@ -76,7 +91,7 @@ const storage::Record* Router::CacheLookup(storage::RecordKey key,
   if (cache == nullptr) return nullptr;
   const storage::Record* rec =
       cache->Lookup(key, partition, partition_epoch(partition));
-  metrics_->Add(rec != nullptr ? "router.cache.hits" : "router.cache.misses");
+  (rec != nullptr ? cache_hits_ : cache_misses_).Add();
   return rec;
 }
 
@@ -192,8 +207,8 @@ RouteResult Router::ResolveOne(const Identity& id, sim::SiteId poa_site,
     if (heat_tracker_ != nullptr) {
       heat_tracker_->RecordAccess(out.partition, out.key, network_->Now());
     }
-    metrics_->Add("router.bypass.hits");
-    metrics_->Add("router.routed");
+    bypass_hits_.Add();
+    routed_.Add();
     return out;
   }
   ResolveResult loc = ResolveAt(id, poa_site);
@@ -201,6 +216,10 @@ RouteResult Router::ResolveOne(const Identity& id, sim::SiteId poa_site,
   if (!loc.status.ok()) {
     out.status = loc.status;
     metrics_->Add("router.resolve.failed");
+    if (flight_ != nullptr) {
+      flight_->Record(network_->Now(), "router", "resolve.fail",
+                      id.ToString() + " " + loc.status.ToString());
+    }
     return out;
   }
   if (loc.entry.partition >= map_->partition_count()) {
@@ -215,7 +234,7 @@ RouteResult Router::ResolveOne(const Identity& id, sim::SiteId poa_site,
   if (heat_tracker_ != nullptr) {
     heat_tracker_->RecordAccess(out.partition, out.key, network_->Now());
   }
-  metrics_->Add("router.routed");
+  routed_.Add();
   return out;
 }
 
@@ -246,7 +265,9 @@ std::vector<RouteResult> Router::ResolveStage(const BatchRequest& batch,
 MicroDuration Router::DispatchGroup(const BatchRequest& batch,
                                     const std::vector<RouteResult>& routes,
                                     const std::vector<size_t>& members,
-                                    sim::SiteId poa_site, BatchResult* result) {
+                                    sim::SiteId poa_site, BatchResult* result,
+                                    const obs::TraceContext& span_parent,
+                                    MicroTime dispatch_start) {
   replication::ReplicaSet* rs = routes[members.front()].rs;
   PoaCache* cache = poa_cache_at(poa_site);
   // The whole group ships to its replica set as one message: runs within it
@@ -256,6 +277,10 @@ MicroDuration Router::DispatchGroup(const BatchRequest& batch,
   MicroDuration service_total = 0;
   MicroDuration window_transit = 0;
   MicroDuration cache_cost = 0;
+  // Span attribution cursor in modelled time: each flushed run occupies
+  // [cursor, cursor + run latency] and advances the cursor by its serialized
+  // service share (the overlapping transits stay inside the run span).
+  MicroTime span_cursor = dispatch_start;
 
   // Pending run of consecutive same-kind ops (one grouped dispatch each).
   std::vector<std::vector<storage::WriteOp>> write_txns;
@@ -269,6 +294,11 @@ MicroDuration Router::DispatchGroup(const BatchRequest& batch,
         rs->WriteBatch(poa_site, std::move(write_txns));
     service_total += gw.latency - gw.transit;
     window_transit = std::max(window_transit, gw.transit);
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpan("replica.write", span_parent, span_cursor,
+                          span_cursor + gw.latency);
+    }
+    span_cursor += gw.latency - gw.transit;
     for (size_t j = 0; j < gw.per_op.size(); ++j) {
       OpOutcome& o = result->outcomes[write_idx[j]];
       o.status = gw.per_op[j].status;
@@ -288,6 +318,11 @@ MicroDuration Router::DispatchGroup(const BatchRequest& batch,
     replication::GroupReadResult gr = rs->ReadBatch(poa_site, read_ops);
     service_total += gr.latency - gr.transit;
     window_transit = std::max(window_transit, gr.transit);
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpan("replica.read", span_parent, span_cursor,
+                          span_cursor + gr.latency);
+    }
+    span_cursor += gr.latency - gr.transit;
     for (size_t j = 0; j < gr.per_op.size(); ++j) {
       const size_t idx = read_idx[j];
       OpOutcome& o = result->outcomes[idx];
@@ -367,7 +402,7 @@ bool Router::TryServeFromCache(const Operation& op, const RouteResult& route,
   const storage::Record* rec = cache->Lookup(
       route.key, route.partition, partition_epoch(route.partition));
   if (rec == nullptr) {
-    metrics_->Add("router.cache.misses");
+    cache_misses_.Add();
     return false;
   }
   out->from_cache = true;
@@ -387,7 +422,7 @@ bool Router::TryServeFromCache(const Operation& op, const RouteResult& route,
     out->status = Status::Ok();
     out->record = *rec;
   }
-  metrics_->Add("router.cache.hits");
+  cache_hits_.Add();
   return true;
 }
 
@@ -397,8 +432,19 @@ BatchResult Router::RouteBatch(const BatchRequest& batch,
   result.outcomes.resize(batch.ops.size());
   if (batch.empty()) return result;
 
+  // Pipeline root span: covers the batch's whole modelled latency. All
+  // stage spans hang off it in modelled time (the clock does not advance
+  // while latencies are computed, so children close via EndAt/RecordSpan
+  // at start + modelled cost).
+  const MicroTime t0 = network_->Now();
+  obs::Span batch_span = obs::StartSpan(tracer_, "route.batch", batch.trace);
+  const obs::TraceContext batch_ctx = batch_span.context();
+
   // Stage 1: resolve every identity at the PoA (or via the hash bypass).
   std::vector<RouteResult> routes = ResolveStage(batch, poa_site, &result);
+  if (tracer_ != nullptr) {
+    tracer_->RecordSpan("resolve", batch_ctx, t0, t0 + result.resolve_cost);
+  }
 
   // Stage 2: group resolved ops by owning partition, keeping request order
   // inside each group (stable grouping = per-key order preserved).
@@ -423,18 +469,26 @@ BatchResult Router::RouteBatch(const BatchRequest& batch,
 
   // Stage 3: one grouped dispatch per replica set; groups fan out
   // concurrently from the PoA, so the batch pays the slowest one.
+  const MicroTime dispatch_start = t0 + result.resolve_cost;
   MicroDuration slowest_group = 0;
   for (const auto& [partition, members] : groups) {
-    slowest_group = std::max(
-        slowest_group, DispatchGroup(batch, routes, members, poa_site, &result));
+    obs::Span dispatch_span =
+        tracer_ != nullptr
+            ? tracer_->StartSpanAt("dispatch", batch_ctx, dispatch_start)
+            : obs::Span();
+    const MicroDuration group_latency =
+        DispatchGroup(batch, routes, members, poa_site, &result,
+                      dispatch_span.context(), dispatch_start);
+    dispatch_span.EndAt(dispatch_start + group_latency);
+    slowest_group = std::max(slowest_group, group_latency);
   }
   result.latency = result.resolve_cost + slowest_group;
+  batch_span.EndAt(t0 + result.latency);
 
-  metrics_->Add("router.batch.count");
-  metrics_->Add("router.batch.ops", static_cast<int64_t>(batch.ops.size()));
-  metrics_->Observe("router.batch.size",
-                    static_cast<int64_t>(batch.ops.size()));
-  metrics_->Observe("router.batch.groups", result.partition_groups);
+  batch_count_.Add();
+  batch_ops_.Add(static_cast<int64_t>(batch.ops.size()));
+  batch_size_.Observe(static_cast<int64_t>(batch.ops.size()));
+  batch_groups_.Observe(result.partition_groups);
   return result;
 }
 

@@ -28,6 +28,8 @@
 #include "common/status.h"
 #include "location/identity.h"
 #include "location/location_stage.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "routing/batch.h"
 #include "routing/heat_tracker.h"
 #include "routing/partition_map.h"
@@ -180,6 +182,17 @@ class Router {
 
   PartitionMap* partition_map() { return map_; }
 
+  // -- Observability -----------------------------------------------------------
+
+  /// Installs the tracer the pipeline records spans into (nullptr = off).
+  /// The coalescer and other front ends reach the tracer through here so
+  /// one sink covers the whole data path of this router.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() { return tracer_; }
+
+  /// Installs the flight recorder resolve failures are logged to.
+  void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
+
   // -- Heat tier ---------------------------------------------------------------
 
   /// Installs (or reconfigures) heat tracking and the per-PoA caches. PoAs
@@ -240,7 +253,9 @@ class Router {
   MicroDuration DispatchGroup(const BatchRequest& batch,
                               const std::vector<RouteResult>& routes,
                               const std::vector<size_t>& members,
-                              sim::SiteId poa_site, BatchResult* result);
+                              sim::SiteId poa_site, BatchResult* result,
+                              const obs::TraceContext& span_parent,
+                              MicroTime dispatch_start);
 
   /// Serves one read op from `cache` when possible (same status/value
   /// semantics as the replica-set read path). Returns false on miss.
@@ -250,6 +265,18 @@ class Router {
   PartitionMap* map_;
   sim::Network* network_;
   Metrics* metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  // Pre-registered handles for the pipeline's hot-path metrics (the string
+  // Add/Observe API stays for cold call sites).
+  Metrics::Counter routed_;
+  Metrics::Counter bypass_hits_;
+  Metrics::Counter cache_hits_;
+  Metrics::Counter cache_misses_;
+  Metrics::Counter batch_count_;
+  Metrics::Counter batch_ops_;
+  Metrics::HistHandle batch_size_;
+  Metrics::HistHandle batch_groups_;
   HashBypassConfig bypass_;
   HeatConfig heat_;
   std::unique_ptr<HeatTracker> heat_tracker_;

@@ -60,6 +60,12 @@ std::string ScenarioReport::Serialize() const {
         << (r.pass ? " PASS" : " FAIL") << "\n";
   }
   out << "passed " << (Passed() ? "true" : "false") << "\n";
+  if (!obs_series.empty()) {
+    out << "obs-series-begin\n" << obs_series << "obs-series-end\n";
+  }
+  if (!flight_dump.empty()) {
+    out << "flight-recorder-begin\n" << flight_dump << "flight-recorder-end\n";
+  }
   return out.str();
 }
 
@@ -191,6 +197,12 @@ void Engine::PsTick() {
 void Engine::ExecuteStep(const Step& step, ScenarioReport* report) {
   udrnf::UdrNf& udr = bed_.udr();
   routing::PartitionMap& map = udr.partition_map();
+  // Every script step is a flight-recorder event: when an SLO breach dumps
+  // the recorder, the injected faults leading up to it are in the history.
+  if (obs::FlightRecorder* flight = udr.flight_recorder()) {
+    flight->Record(bed_.clock().Now(), "scenario", StepKindName(step.kind),
+                   "site=" + std::to_string(step.site));
+  }
   switch (step.kind) {
     case StepKind::kKillSite: {
       // Drain every PoA the site hosts, then crash every replica copy its
@@ -265,9 +277,16 @@ void Engine::ExecuteStep(const Step& step, ScenarioReport* report) {
     case StepKind::kDecommissionSe:
       (void)udr.StartDecommission(step.se_index);
       break;
-    case StepKind::kAssertSlo:
-      (void)verifier_.Evaluate(step.slo);
+    case StepKind::kAssertSlo: {
+      const SloResult r = verifier_.Evaluate(step.slo);
+      if (obs::FlightRecorder* flight = udr.flight_recorder()) {
+        flight->Record(bed_.clock().Now(), "slo", r.pass ? "pass" : "fail",
+                       r.check.label + " kind=" + SloKindName(r.check.kind) +
+                           " bound=" + Fmt(r.check.bound) +
+                           " actual=" + Fmt(r.actual));
+      }
       break;
+    }
   }
   ++report->steps_executed;
 }
@@ -308,8 +327,10 @@ ScenarioReport Engine::Run() {
         step_i < steps.size() ? start + steps[step_i].at : kTimeInfinity;
     MicroTime next = std::min({next_fe, next_ps, next_step});
 
-    // Wake exactly at the earliest open PoA window's deadline.
-    MicroTime flush_at = udr.NextEventDeadline();
+    // Wake exactly at the earliest open PoA window's deadline — or the
+    // time-series sampler's next due tick (PumpEvents drives both).
+    MicroTime flush_at =
+        std::min(udr.NextEventDeadline(), udr.NextObsSampleDue());
     if (flush_at <= std::min(next, horizon)) {
       clock.AdvanceTo(std::max(flush_at, clock.Now()));
       udr.PumpEvents();
@@ -364,6 +385,17 @@ ScenarioReport Engine::Run() {
   report.audit = verifier_.Audit();
   report.slos = verifier_.results();
   report.sim_duration = clock.Now() - start;
+  if (udr.sampler() != nullptr) {
+    report.obs_series = udr.sampler()->Serialize();
+  }
+  if (!report.slos.empty() && !report.Passed() &&
+      udr.flight_recorder() != nullptr) {
+    // SLO breach: dump the recent control-plane history so the events
+    // leading up to the failure travel with the report.
+    report.flight_dump = udr.flight_recorder()->Dump();
+    std::fprintf(stderr, "[scenario %s] SLO FAILED; flight recorder:\n%s",
+                 report.name.c_str(), report.flight_dump.c_str());
+  }
   return report;
 }
 

@@ -54,6 +54,14 @@ struct ScenarioReport {
   int64_t heal_reconciliations = 0;
   int64_t steps_executed = 0;
   MicroDuration sim_duration = 0;
+  /// Time-series sampler output (empty when obs_sample_interval_us is 0 —
+  /// Serialize() appends obs sections only when non-empty, so runs with
+  /// observability off keep their byte-identical legacy serialization).
+  std::string obs_series;
+  /// Flight-recorder dump captured when an evaluated SLO failed (empty on
+  /// pass or when no SLO row ran): the recent control-plane events leading
+  /// up to the breach.
+  std::string flight_dump;
 
   /// Every SLO row evaluated and passed (false when none was evaluated).
   bool Passed() const;

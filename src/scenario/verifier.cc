@@ -1,5 +1,6 @@
 #include "scenario/verifier.h"
 
+#include <cstdio>
 #include <variant>
 
 #include "storage/commit_log.h"
@@ -128,6 +129,19 @@ AuditReport Verifier::Audit() {
         ScanOp(op, &loc, &cfu, &audit_.order_violations);
       }
     }
+  }
+  if ((audit_.lost_writes > 0 || audit_.unreadable > 0 ||
+       audit_.order_violations > 0) &&
+      bed_->udr().flight_recorder() != nullptr) {
+    // A hard-invariant breach is exactly what the flight recorder exists
+    // for: dump the control-plane events that preceded it.
+    std::fprintf(stderr,
+                 "[audit] invariant breach (lost=%lld unreadable=%lld "
+                 "order=%lld); flight recorder:\n%s",
+                 static_cast<long long>(audit_.lost_writes),
+                 static_cast<long long>(audit_.unreadable),
+                 static_cast<long long>(audit_.order_violations),
+                 bed_->udr().flight_recorder()->Dump().c_str());
   }
   return audit_;
 }

@@ -77,6 +77,42 @@ UdrNf::UdrNf(UdrConfig config, sim::Network* network)
     heat.cache_admit_min_count = config_.poa_cache_admit_min;
     router_.ConfigureHeat(heat);
   }
+  if (config_.trace_sample_rate > 0) {
+    obs::Tracer::Options topt;
+    topt.sample_rate = config_.trace_sample_rate;
+    topt.seed = config_.trace_seed;
+    topt.max_spans = config_.trace_max_spans > 0
+                         ? static_cast<size_t>(config_.trace_max_spans)
+                         : 0;
+    topt.lane = config_.trace_lane;
+    tracer_ = std::make_unique<obs::Tracer>(topt, network_->clock());
+    router_.set_tracer(tracer_.get());
+    migration_->set_tracer(tracer_.get());
+  }
+  if (config_.flight_recorder_capacity > 0) {
+    flight_ = std::make_unique<obs::FlightRecorder>(
+        static_cast<size_t>(config_.flight_recorder_capacity));
+    router_.set_flight_recorder(flight_.get());
+    migration_->set_flight_recorder(flight_.get());
+  }
+  if (config_.obs_sample_interval_us > 0) {
+    sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+        obs::TimeSeriesConfig{
+            config_.obs_sample_interval_us,
+            config_.obs_ring_capacity > 0
+                ? static_cast<size_t>(config_.obs_ring_capacity)
+                : 0},
+        &metrics_, network_->clock());
+    // Default series: the signals the ROADMAP control-plane loop consumes —
+    // arrival/throughput rates for window sizing, queueing/batch quantiles
+    // for the latency budget.
+    sampler_->TrackCounter("router.routed");
+    sampler_->TrackCounter("router.cache.hits");
+    sampler_->TrackCounter("udr.batch.ops");
+    sampler_->TrackCounter("coalescer.events");
+    sampler_->TrackQuantile("router.batch.size", 50);
+    sampler_->TrackQuantile("coalescer.queue_delay_us", 99);
+  }
 }
 
 UdrNf::~UdrNf() = default;
@@ -212,6 +248,10 @@ migration::MigrationProgress UdrNf::StartMigration() {
     if (!plan.empty()) {
       migration_->EnqueuePlan(plan);
       metrics_.Add("migration.plans");
+      if (flight_ != nullptr) {
+        flight_->Record(Now(), "migration", "plan.rebalance",
+                        "tasks=" + std::to_string(plan.tasks.size()));
+      }
     }
   }
   return migration_->Progress();
@@ -225,6 +265,11 @@ migration::MigrationProgress UdrNf::StartDecommission(int se_index) {
   if (!plan.empty()) {
     migration_->EnqueuePlan(plan);
     metrics_.Add("migration.decommission_plans");
+    if (flight_ != nullptr) {
+      flight_->Record(Now(), "migration", "plan.decommission",
+                      "se=" + std::to_string(se_index) +
+                          " tasks=" + std::to_string(plan.tasks.size()));
+    }
   }
   return migration_->Progress();
 }
@@ -236,6 +281,10 @@ void UdrNf::SetClusterServing(uint32_t cluster_id, bool serving) {
     server->set_healthy(serving);
   }
   metrics_.Add(serving ? "cluster.restored" : "cluster.drained");
+  if (flight_ != nullptr) {
+    flight_->Record(Now(), "cluster", serving ? "restored" : "drained",
+                    "cluster=" + std::to_string(cluster_id));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -256,6 +305,11 @@ StatusOr<uint32_t> UdrNf::StartSplit(uint32_t parent) {
   heat_siblings_.push_back(HeatSibling{parent, sibling, Now()});
   ++runtime_splits_;
   metrics_.Add("udr.heat.splits");
+  if (flight_ != nullptr) {
+    flight_->Record(Now(), "heat", "split",
+                    "parent=" + std::to_string(parent) +
+                        " sibling=" + std::to_string(sibling));
+  }
 
   migration::MigrationPlan plan = migration::MigrationPlanner::PlanSplit(
       router_, map_, config_.hash_identity_type, parent, sibling);
@@ -278,6 +332,11 @@ Status UdrNf::StartMerge(uint32_t sibling) {
   router_.BumpPartitionEpoch(sibling);
   if (parent >= 0) router_.BumpPartitionEpoch(static_cast<uint32_t>(parent));
   metrics_.Add("udr.heat.merge_begun");
+  if (flight_ != nullptr) {
+    flight_->Record(Now(), "heat", "merge.begin",
+                    "sibling=" + std::to_string(sibling) +
+                        " parent=" + std::to_string(parent));
+  }
 
   migration::MigrationPlan plan = migration::MigrationPlanner::PlanMerge(
       router_, map_, config_.hash_identity_type, sibling);
@@ -301,6 +360,10 @@ void UdrNf::PumpHeat() {
         map_.RetirePartition(it->sibling).ok()) {
       ++runtime_merges_;
       metrics_.Add("udr.heat.merges");
+      if (flight_ != nullptr) {
+        flight_->Record(Now(), "heat", "merge.retired",
+                        "sibling=" + std::to_string(it->sibling));
+      }
       it = heat_siblings_.erase(it);
       continue;
     }
@@ -673,22 +736,35 @@ ReadPreference UdrNf::ReadPrefFor(const LdapRequest& request) const {
 
 LdapResult UdrNf::Process(const LdapRequest& request, uint32_t poa_site) {
   migration_->OnForegroundOps(1);
-  switch (request.op) {
-    case ldap::LdapOp::kSearch:
-      return DoSearch(request, poa_site);
-    case ldap::LdapOp::kAdd:
-      return DoAdd(request, poa_site);
-    case ldap::LdapOp::kModify:
-      return DoModify(request, poa_site);
-    case ldap::LdapOp::kDelete:
-      return DoDelete(request, poa_site);
-    case ldap::LdapOp::kCompare:
-      return DoCompare(request, poa_site);
+  auto dispatch = [&]() -> LdapResult {
+    switch (request.op) {
+      case ldap::LdapOp::kSearch:
+        return DoSearch(request, poa_site);
+      case ldap::LdapOp::kAdd:
+        return DoAdd(request, poa_site);
+      case ldap::LdapOp::kModify:
+        return DoModify(request, poa_site);
+      case ldap::LdapOp::kDelete:
+        return DoDelete(request, poa_site);
+      case ldap::LdapOp::kCompare:
+        return DoCompare(request, poa_site);
+    }
+    LdapResult r;
+    r.code = LdapResultCode::kProtocolError;
+    r.diagnostic = "unsupported operation";
+    return r;
+  };
+  LdapResult result = dispatch();
+  // Root "event" span for the single-op path, spanning the op's whole
+  // modelled latency — unbatched deployments trace their signaling events
+  // too (the batched path opens its root in ProcessBatch instead).
+  if (tracer_ != nullptr) {
+    const obs::TraceContext trace = tracer_->StartTrace();
+    if (trace.active()) {
+      tracer_->RecordSpan("event", trace, Now(), Now() + result.latency);
+    }
   }
-  LdapResult r;
-  r.code = LdapResultCode::kProtocolError;
-  r.diagnostic = "unsupported operation";
-  return r;
+  return result;
 }
 
 LdapResult UdrNf::SearchResultFor(const LdapRequest& request,
@@ -1081,7 +1157,15 @@ ldap::LdapBatchResult UdrNf::ProcessBatch(
   ldap::LdapBatchResult out;
   out.results.resize(requests.size());
 
+  // One trace per signaling event; the root "event" span covers the whole
+  // modelled latency and the pipeline spans hang off it.
+  const MicroTime event_start = Now();
   routing::BatchRequest batch;
+  obs::Span event_span;
+  if (tracer_ != nullptr) {
+    event_span = tracer_->StartSpan("event", tracer_->StartTrace());
+    batch.trace = event_span.context();
+  }
   std::vector<std::pair<size_t, RequestSlot>> slots;  // request idx -> slot.
   int64_t pipeline_requests = 0;  // Inline ops count via Process() instead.
   auto flush = [&]() {
@@ -1120,6 +1204,7 @@ ldap::LdapBatchResult UdrNf::ProcessBatch(
     }
   }
   flush();
+  event_span.EndAt(event_start + out.latency);
 
   metrics_.Add("udr.batch.count");
   metrics_.Add("udr.batch.ops", static_cast<int64_t>(requests.size()));
@@ -1188,6 +1273,10 @@ uint64_t UdrNf::EnqueueBatch(const std::vector<LdapRequest>& requests,
     return handle;
   }
 
+  // A parked event carries its own trace into the window: the coalescer
+  // records its park wait and hangs the shared flush's pipeline spans off
+  // the first sampled trace of the window.
+  if (tracer_ != nullptr) batch.trace = tracer_->StartTrace();
   event.event = window.Submit(std::move(batch));
   pending_events_.emplace(handle, std::move(event));
   metrics_.Add("udr.event.enqueued");
@@ -1283,10 +1372,12 @@ void UdrNf::PumpEvents() {
   for (uint32_t c = 0; c < coalescers_.size(); ++c) {
     if (coalescers_[c]->FlushIfDue()) DrainCoalescer(c);
   }
-  // One sim loop drives all three background primitives: the PoA dispatch
-  // windows, the migration scheduler, and the heat-tier control loop.
+  // One sim loop drives all the background primitives: the PoA dispatch
+  // windows, the migration scheduler, the heat-tier control loop, and the
+  // time-series sampler's tick.
   PumpMigration();
   PumpHeat();
+  if (sampler_ != nullptr) sampler_->MaybeSample();
 }
 
 void UdrNf::FlushEvents() {

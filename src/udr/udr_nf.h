@@ -34,6 +34,9 @@
 #include "migration/bandwidth_model.h"
 #include "migration/planner.h"
 #include "migration/scheduler.h"
+#include "obs/flight_recorder.h"
+#include "obs/time_series.h"
+#include "obs/trace.h"
 #include "replication/replica_set.h"
 #include "routing/coalescer.h"
 #include "routing/partition_map.h"
@@ -140,6 +143,26 @@ struct UdrConfig {
   /// at heat zero and needs time to prove itself cold. 0 picks 4x the
   /// half-life.
   MicroDuration heat_split_cooldown_us = 0;
+  // -- Observability (src/obs) -------------------------------------------------
+  /// Fraction of signaling events traced end to end, in [0, 1]. The decision
+  /// is a pure function of (trace_seed, trace id), so the same seed traces
+  /// the same events on every replay. 0 = tracing off (no tracer allocated,
+  /// zero data-path overhead).
+  double trace_sample_rate = 0.0;
+  uint64_t trace_seed = 42;
+  /// Hard cap on retained spans (the excess is counted, not stored).
+  int64_t trace_max_spans = 1 << 20;
+  /// Perfetto lane (tid) of this NF's spans; the sharded execution mode sets
+  /// it to the shard index so merged traces keep one row per shard.
+  uint32_t trace_lane = 0;
+  /// Time-series sampler tick: snapshot registered counters / histogram
+  /// quantiles every this much sim time. 0 = sampler off.
+  MicroDuration obs_sample_interval_us = 0;
+  /// Points retained per sampled series.
+  int obs_ring_capacity = 256;
+  /// Control-plane events retained per component by the flight recorder
+  /// (0 = recorder off).
+  int flight_recorder_capacity = 256;
   storage::StorageElementConfig se_template;
   ldap::LdapServerConfig ldap_template;
   location::LocationCostModel location_model;
@@ -158,6 +181,21 @@ class UdrNf : public ldap::LdapBackend {
 
   routing::PartitionMap& partition_map() { return map_; }
   routing::Router& router() { return router_; }
+
+  // -- Observability -----------------------------------------------------------
+
+  /// The NF's tracer; nullptr when trace_sample_rate == 0.
+  obs::Tracer* tracer() { return tracer_.get(); }
+  /// The control-plane flight recorder; nullptr when its capacity is 0.
+  obs::FlightRecorder* flight_recorder() { return flight_.get(); }
+  /// The time-series sampler; nullptr when obs_sample_interval_us == 0.
+  obs::TimeSeriesSampler* sampler() { return sampler_.get(); }
+
+  /// When the sampler's next tick is due (kTimeInfinity when off) — drivers
+  /// advance the clock here like NextEventDeadline / NextMigrationDeadline.
+  MicroTime NextObsSampleDue() const {
+    return sampler_ != nullptr ? sampler_->NextSampleDue() : kTimeInfinity;
+  }
 
   // -- Deployment / scale-out (§3.4) -------------------------------------------
 
@@ -506,6 +544,9 @@ class UdrNf : public ldap::LdapBackend {
   UdrConfig config_;
   sim::Network* network_;
   Metrics metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
 
   routing::PartitionMap map_;
   routing::Router router_;

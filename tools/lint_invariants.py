@@ -31,6 +31,13 @@ concurrency statically checkable — the ones a generic linter can't know:
                      REQUIRED_BENCHES list, so a bench falling out of the
                      build fails CI instead of being silently skipped.
 
+  metric-name        every dotted metric-name string literal passed to
+                     Add/Observe/RegisterCounter/RegisterHist in src/ must
+                     appear (backticked) in the docs/METRICS.md table, and
+                     every name the table documents must still be emitted
+                     somewhere — the metric reference can neither lag nor
+                     lead the code.
+
 Escape hatch: a line (or the line directly above it) carrying
     // lint:allow(<rule>): <non-empty reason>
 is exempt from <rule>. Every marker must also be documented in
@@ -69,6 +76,12 @@ RAW_MUTEX_PATTERNS = [
 ]
 
 TSA_ESCAPE_RE = re.compile(r"\bNO_THREAD_SAFETY_ANALYSIS\b")
+
+# Metric registry call sites and the dotted-name shape they must use.
+METRIC_CALL_RE = re.compile(
+    r"\b(?:Add|Observe|RegisterCounter|RegisterHist)\s*\(")
+METRIC_NAME_RE = re.compile(r'"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)"')
+METRIC_DOC_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
 
 
 def code_part(line: str) -> str:
@@ -164,6 +177,48 @@ def lint_bench_coverage(root: str, violations: list):
             f"bench/{stale}.cc does not exist")
 
 
+def lint_metric_names(root: str, violations: list):
+    doc_path = os.path.join(root, "docs", "METRICS.md")
+    if not os.path.exists(doc_path):
+        violations.append(
+            "docs/METRICS.md: [metric-name] missing — the metric-name "
+            "reference table is required")
+        return
+    with open(doc_path, encoding="utf-8") as f:
+        documented = set(METRIC_DOC_RE.findall(f.read()))
+
+    emitted = {}  # name -> first src location emitting it.
+    for dirpath, _, filenames in os.walk(os.path.join(root, "src")):
+        for fn in sorted(filenames):
+            if not (fn.endswith(".h") or fn.endswith(".cc")):
+                continue
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as f:
+                lines = f.read().splitlines()
+            for lineno, line in enumerate(lines, 1):
+                # The call must be in real code; the literal is then taken
+                # from the raw line (code_part blanks string contents). A
+                # wrapped call may carry the name on the following line.
+                if not METRIC_CALL_RE.search(code_part(line)):
+                    continue
+                names = METRIC_NAME_RE.findall(line)
+                if not names and lineno < len(lines):
+                    names = METRIC_NAME_RE.findall(lines[lineno])
+                for name in names:
+                    emitted.setdefault(name, f"{rel}:{lineno}")
+
+    for name in sorted(set(emitted) - documented):
+        violations.append(
+            f"{emitted[name]}: [metric-name] metric \"{name}\" is not in "
+            f"the docs/METRICS.md table — document it (name backticked)")
+    for name in sorted(documented - set(emitted)):
+        violations.append(
+            f"docs/METRICS.md: [metric-name] documents \"{name}\" but no "
+            f"Add/Observe/RegisterCounter/RegisterHist site in src/ emits "
+            f"it — remove the row or restore the metric")
+
+
 def main() -> int:
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1
                            else os.path.join(os.path.dirname(__file__), ".."))
@@ -184,6 +239,7 @@ def main() -> int:
             files += 1
             lint_file(path, rel, allowlist_doc, violations)
     lint_bench_coverage(root, violations)
+    lint_metric_names(root, violations)
 
     if violations:
         for v in violations:
